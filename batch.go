@@ -1,0 +1,45 @@
+package monoclass
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ClassifyBatch applies a classifier to every point, fanning the work
+// across CPU cores; the result is positionally aligned with pts.
+// Classifier implementations in this library are safe for concurrent
+// reads; custom implementations must be too.
+func ClassifyBatch(h Classifier, pts []Point) []Label {
+	out := make([]Label, len(pts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers <= 1 {
+		for i, p := range pts {
+			out[i] = h.Classify(p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = h.Classify(pts[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

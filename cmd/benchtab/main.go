@@ -1,0 +1,47 @@
+// Command benchtab regenerates every experiment table of the
+// reproduction (DESIGN.md §2.2): the two worked-figure checks F1/F2
+// and the theorem-level experiments E1–E10, printed as markdown.
+//
+// Usage:
+//
+//	benchtab [-quick] [-seed N] [-only E1,E4,F1]
+//
+// The full run takes a few minutes; -quick shrinks workloads to
+// seconds for smoke testing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"monoclass/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-scale workloads")
+	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	ids := experiments.IDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+
+	fmt.Printf("# monoclass experiment tables (seed=%d, quick=%v)\n\n", *seed, *quick)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tab, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Markdown())
+		fmt.Printf("_(generated in %s)_\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

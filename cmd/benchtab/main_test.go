@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "benchtab-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binary = filepath.Join(dir, "benchtab")
+	if out, err := exec.Command("go", "build", "-o", binary, ".").CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func TestBenchtabFigureChecks(t *testing.T) {
+	out, err := exec.Command(binary, "-quick", "-only", "F1,F2").Output()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "### F1") || !strings.Contains(s, "### F2") {
+		t.Errorf("missing tables:\n%s", s)
+	}
+	if strings.Contains(s, "| NO |") {
+		t.Errorf("a figure check failed to match the paper:\n%s", s)
+	}
+	// Every measured row of the figure checks must match.
+	if got := strings.Count(s, "| yes |"); got < 9 {
+		t.Errorf("expected at least 9 matching rows, saw %d:\n%s", got, s)
+	}
+}
+
+func TestBenchtabQuickSingleExperiment(t *testing.T) {
+	out, err := exec.Command(binary, "-quick", "-only", "E6").Output()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "lower-bound game") {
+		t.Errorf("E6 table missing:\n%s", out)
+	}
+	if strings.Contains(string(out), "MISMATCH") {
+		t.Errorf("E6 closed form violated:\n%s", out)
+	}
+}
+
+func TestBenchtabUnknownExperiment(t *testing.T) {
+	if _, err := exec.Command(binary, "-only", "E99").Output(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"monoclass"
+)
+
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "datagen-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binary = filepath.Join(dir, "datagen")
+	if out, err := exec.Command("go", "build", "-o", binary, ".").CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+func TestDatagenKinds(t *testing.T) {
+	cases := []struct {
+		args []string
+		n    int
+		dim  int
+	}{
+		{[]string{"-kind", "planted", "-n", "50", "-d", "3"}, 50, 3},
+		{[]string{"-kind", "width", "-n", "60", "-w", "4"}, 60, 2},
+		{[]string{"-kind", "1d", "-n", "40"}, 40, 1},
+		{[]string{"-kind", "figure1"}, 16, 2},
+		{[]string{"-kind", "em", "-n", "40"}, 40, 4},
+	}
+	for _, c := range cases {
+		out, err := exec.Command(binary, c.args...).Output()
+		if err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		ws, err := monoclass.ReadCSV(strings.NewReader(string(out)))
+		if err != nil {
+			t.Fatalf("%v: output does not parse: %v", c.args, err)
+		}
+		if len(ws) != c.n {
+			t.Errorf("%v: %d rows, want %d", c.args, len(ws), c.n)
+		}
+		if len(ws) > 0 && len(ws[0].P) != c.dim {
+			t.Errorf("%v: dim %d, want %d", c.args, len(ws[0].P), c.dim)
+		}
+	}
+}
+
+func TestDatagenDeterministicSeed(t *testing.T) {
+	a, err := exec.Command(binary, "-kind", "planted", "-n", "30", "-seed", "7").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exec.Command(binary, "-kind", "planted", "-n", "30", "-seed", "7").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("same seed produced different datasets")
+	}
+}
+
+func TestDatagenUnknownKind(t *testing.T) {
+	if _, err := exec.Command(binary, "-kind", "nope").Output(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module monoclass
+
+go 1.22

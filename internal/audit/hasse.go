@@ -1,0 +1,113 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"monoclass/internal/geom"
+	"monoclass/internal/skyline"
+)
+
+// HasseDOT renders the Hasse diagram (transitive reduction of the
+// dominance order) of a labeled point set as Graphviz DOT: positive
+// points are filled black, negative points white; an edge points from
+// the dominating point down to a covered point. Intended for small
+// sets (it refuses more than 400 points); the paper's Figure 1 renders
+// directly from the Figure1 fixture.
+//
+// Coordinate-equal points are collapsed into one node listing all
+// their indices (equal points are mutually dominant, which a Hasse
+// diagram cannot draw).
+func HasseDOT(pts []geom.LabeledPoint) (string, error) {
+	if len(pts) == 0 {
+		return "", fmt.Errorf("audit: empty point set")
+	}
+	if len(pts) > 400 {
+		return "", fmt.Errorf("audit: Hasse rendering limited to 400 points, got %d", len(pts))
+	}
+
+	// Collapse coordinate-equal points.
+	type nodeInfo struct {
+		point   geom.Point
+		members []int
+		pos     bool
+		neg     bool
+	}
+	index := map[string]int{}
+	var nodes []*nodeInfo
+	for i, lp := range pts {
+		key := lp.P.String()
+		j, ok := index[key]
+		if !ok {
+			j = len(nodes)
+			index[key] = j
+			nodes = append(nodes, &nodeInfo{point: lp.P})
+		}
+		nodes[j].members = append(nodes[j].members, i)
+		if lp.Label == geom.Positive {
+			nodes[j].pos = true
+		} else {
+			nodes[j].neg = true
+		}
+	}
+
+	// Covering edges: u covers v when v is maximal among the points u
+	// strictly dominates.
+	var edges [][2]int
+	for u, nu := range nodes {
+		var dominated []geom.Point
+		var which []int
+		for v, nv := range nodes {
+			if u != v && geom.StrictlyDominates(nu.point, nv.point) {
+				dominated = append(dominated, nv.point)
+				which = append(which, v)
+			}
+		}
+		if len(dominated) == 0 {
+			continue
+		}
+		for _, k := range skyline.Maximal(dominated) {
+			edges = append(edges, [2]int{u, which[k]})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+
+	var b strings.Builder
+	b.WriteString("digraph hasse {\n")
+	b.WriteString("  rankdir=BT;\n") // dominated below, dominating above
+	b.WriteString("  node [shape=circle, fontsize=10];\n")
+	for i, n := range nodes {
+		label := fmt.Sprintf("p%d", n.members[0]+1)
+		if len(n.members) > 1 {
+			parts := make([]string, len(n.members))
+			for k, m := range n.members {
+				parts[k] = fmt.Sprintf("p%d", m+1)
+			}
+			label = strings.Join(parts, ",")
+		}
+		style := "filled, solid"
+		fill := "white"
+		fontcolor := "black"
+		switch {
+		case n.pos && n.neg:
+			fill = "gray"
+		case n.pos:
+			fill = "black"
+			fontcolor = "white"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", style=\"%s\", fillcolor=\"%s\", fontcolor=\"%s\"];\n",
+			i, label, style, fill, fontcolor)
+	}
+	for _, e := range edges {
+		// rankdir=BT draws the arrow upward from covered to covering.
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[1], e[0])
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}

@@ -1,0 +1,288 @@
+// Package chains implements chain decompositions of point sets under
+// the dominance order, the substrate behind Lemma 6 of the paper:
+//
+//	Given a set P of n points in R^d, a chain decomposition of P with
+//	exactly w chains (w = dominance width) is computable in
+//	O(dn² + n^2.5) time.
+//
+// The construction follows the paper's appendix: build the dominance
+// DAG, reduce minimum vertex-disjoint path cover to maximum bipartite
+// matching (the DAG is transitively closed, so path cover = chain
+// cover), and solve the matching with Hopcroft–Karp. Dilworth's theorem
+// guarantees the chain count equals the maximum antichain size, and a
+// maximum antichain is extracted from a König minimum vertex cover as a
+// certificate.
+package chains
+
+import (
+	"fmt"
+	"sort"
+
+	"monoclass/internal/geom"
+	"monoclass/internal/matching"
+)
+
+// Decomposition is the result of decomposing a point set into chains.
+type Decomposition struct {
+	// Chains partitions the point indices; each chain is sorted in
+	// ascending dominance order (every point dominates all points
+	// before it in its chain).
+	Chains [][]int
+	// Width is the dominance width w of the set; always len(Chains).
+	Width int
+	// Antichain is a maximum antichain of exactly Width points,
+	// certifying (by Dilworth) that no decomposition has fewer chains.
+	Antichain []int
+}
+
+// dominanceEdge reports whether the DAG has the edge i -> j, meaning
+// point i sits above point j. Coordinate-equal points are ordered by
+// index so duplicates chain up rather than forming cycles; the relation
+// stays transitive.
+func dominanceEdge(pts []geom.Point, i, j int) bool {
+	if i == j {
+		return false
+	}
+	if !geom.Dominates(pts[i], pts[j]) {
+		return false
+	}
+	if pts[i].Equal(pts[j]) {
+		return i > j
+	}
+	return true
+}
+
+// Decompose computes a minimum chain decomposition of pts together
+// with a maximum antichain. Dimensions 1 and 2 dispatch to O(n log n)
+// fast paths; higher dimensions use the paper's generic
+// O(dn² + n^2.5) matching construction (DecomposeGeneric).
+func Decompose(pts []geom.Point) Decomposition {
+	if len(pts) == 0 {
+		return Decomposition{}
+	}
+	switch len(pts[0]) {
+	case 1:
+		return Decompose1D(pts)
+	case 2:
+		return Decompose2D(pts)
+	default:
+		return DecomposeGeneric(pts)
+	}
+}
+
+// DecomposeGeneric is the Lemma 6 construction for any dimension:
+// dominance DAG, minimum path cover via Hopcroft–Karp, maximum
+// antichain via König. It runs in O(dn² + n^2.5) time and O(n²)
+// space.
+func DecomposeGeneric(pts []geom.Point) Decomposition {
+	n := len(pts)
+	if n == 0 {
+		return Decomposition{}
+	}
+
+	// Bipartite reduction for minimum path cover: left copy u matched
+	// to right copy v encodes using DAG edge u -> v (u directly above v
+	// in its chain). Cover size = n - |matching|.
+	b := matching.NewBipartite(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dominanceEdge(pts, i, j) {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	m := matching.MaxMatching(b)
+
+	// Walk chains from their maximal elements (right copies left
+	// unmatched: nothing sits above them).
+	chains := make([][]int, 0, n-m.Size)
+	for v := 0; v < n; v++ {
+		if m.MatchRight[v] != -1 {
+			continue // some point sits directly above v
+		}
+		var desc []int
+		for u := v; u != -1; u = m.MatchLeft[u] {
+			desc = append(desc, u)
+		}
+		// desc runs top-down; chains are reported in ascending order.
+		for l, r := 0, len(desc)-1; l < r; l, r = l+1, r-1 {
+			desc[l], desc[r] = desc[r], desc[l]
+		}
+		chains = append(chains, desc)
+	}
+	if len(chains) != n-m.Size {
+		panic(fmt.Sprintf("chains: built %d chains, expected %d", len(chains), n-m.Size))
+	}
+
+	// König: complement of a minimum vertex cover is a maximum
+	// independent set; a point outside the cover on both sides has no
+	// incident DAG edge inside the independent set, i.e. the selected
+	// points are pairwise incomparable — a maximum antichain.
+	coverL, coverR := matching.MinVertexCover(b, m)
+	var anti []int
+	for i := 0; i < n; i++ {
+		if !coverL[i] && !coverR[i] {
+			anti = append(anti, i)
+		}
+	}
+	if len(anti) != len(chains) {
+		panic(fmt.Sprintf("chains: antichain size %d != chain count %d", len(anti), len(chains)))
+	}
+	sort.Ints(anti)
+	return Decomposition{Chains: chains, Width: len(chains), Antichain: anti}
+}
+
+// Width returns the dominance width of pts: the size of its largest
+// antichain, equivalently the minimum number of chains covering it.
+func Width(pts []geom.Point) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	if len(pts[0]) == 2 {
+		return Width2D(pts)
+	}
+	return Decompose(pts).Width
+}
+
+// Width2D computes the dominance width of a 2-D point set in
+// O(n log n) time: after sorting by (x asc, y asc), a maximum antichain
+// is exactly a longest strictly-decreasing subsequence of y values
+// (two 2-D points are incomparable iff one is strictly left of and
+// strictly above the other; equal-x points are always comparable).
+func Width2D(pts []geom.Point) int {
+	n := len(pts)
+	if n == 0 {
+		return 0
+	}
+	if len(pts[0]) != 2 {
+		panic(fmt.Sprintf("chains: Width2D on %d-dimensional points", len(pts[0])))
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	// Longest strictly decreasing subsequence of y == longest strictly
+	// increasing subsequence of -y, via patience sorting.
+	tails := make([]float64, 0, n) // tails[k] = max(-y) achievable ending a length-k+1 subsequence... (min tail)
+	for _, idx := range order {
+		v := -pts[idx][1]
+		// Find first tail >= v (strict increase required).
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if tails[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(tails) {
+			tails = append(tails, v)
+		} else {
+			tails[lo] = v
+		}
+	}
+	return len(tails)
+}
+
+// GreedyDecompose is the classic first-fit heuristic: points are
+// processed in a linear extension of dominance (sorted by coordinate
+// sum, ties broken lexicographically) and appended to the first chain
+// whose current top they dominate. It uses O(dn·w') time after sorting
+// but may emit more than w chains; it exists as the ablation baseline
+// for E8 showing why the matching-based construction matters.
+func GreedyDecompose(pts []geom.Point) [][]int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		sa, sb := 0.0, 0.0
+		for k := range pa {
+			sa += pa[k]
+			sb += pb[k]
+		}
+		if sa != sb {
+			return sa < sb
+		}
+		for k := range pa {
+			if pa[k] != pb[k] {
+				return pa[k] < pb[k]
+			}
+		}
+		return order[a] < order[b]
+	})
+	var chains [][]int
+	for _, idx := range order {
+		placed := false
+		for c := range chains {
+			top := chains[c][len(chains[c])-1]
+			if geom.Dominates(pts[idx], pts[top]) {
+				chains[c] = append(chains[c], idx)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			chains = append(chains, []int{idx})
+		}
+	}
+	return chains
+}
+
+// ValidateDecomposition checks that chains is a partition of [0, n)
+// into dominance chains (ascending). It returns a descriptive error on
+// the first violation; nil means valid. Tests and the experiment
+// harness call it after every decomposition.
+func ValidateDecomposition(pts []geom.Point, chains [][]int) error {
+	seen := make([]bool, len(pts))
+	total := 0
+	for ci, chain := range chains {
+		if len(chain) == 0 {
+			return fmt.Errorf("chains: chain %d is empty", ci)
+		}
+		for k, idx := range chain {
+			if idx < 0 || idx >= len(pts) {
+				return fmt.Errorf("chains: chain %d contains out-of-range index %d", ci, idx)
+			}
+			if seen[idx] {
+				return fmt.Errorf("chains: point %d appears twice", idx)
+			}
+			seen[idx] = true
+			total++
+			if k > 0 && !geom.Dominates(pts[idx], pts[chain[k-1]]) {
+				return fmt.Errorf("chains: chain %d not ascending at position %d", ci, k)
+			}
+		}
+	}
+	if total != len(pts) {
+		return fmt.Errorf("chains: cover %d of %d points", total, len(pts))
+	}
+	return nil
+}
+
+// ValidateAntichain checks that the given indices are pairwise
+// incomparable points of pts.
+func ValidateAntichain(pts []geom.Point, anti []int) error {
+	for a := 0; a < len(anti); a++ {
+		for b := a + 1; b < len(anti); b++ {
+			i, j := anti[a], anti[b]
+			if geom.Comparable(pts[i], pts[j]) {
+				return fmt.Errorf("chains: antichain members %d and %d are comparable", i, j)
+			}
+		}
+	}
+	return nil
+}

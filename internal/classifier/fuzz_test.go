@@ -1,0 +1,39 @@
+package classifier
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+// FuzzReadModel feeds arbitrary bytes to the model loader: it must
+// never panic, and any accepted model must re-serialize and reload to
+// an equivalent classifier.
+func FuzzReadModel(f *testing.F) {
+	var sample bytes.Buffer
+	WriteModel(&sample, MustAnchorSet(2, []geom.Point{{1, 2}, {0, 5}}))
+	f.Add(sample.String())
+	f.Add(`{"format":"monoclass-anchors","version":1,"dim":2,"anchors":[["+inf","-inf"]]}`)
+	f.Add(`{"format":"monoclass-anchors","version":1,"dim":1,"anchors":[]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, data string) {
+		h, err := ReadModel(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteModel(&buf, h); err != nil {
+			t.Fatalf("accepted model fails to serialize: %v", err)
+		}
+		back, err := ReadModel(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Dim() != h.Dim() || len(back.Anchors()) != len(h.Anchors()) {
+			t.Fatal("round trip changed the model shape")
+		}
+	})
+}

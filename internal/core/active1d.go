@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"monoclass/internal/geom"
+	"monoclass/internal/oracle"
+	"monoclass/internal/sampling"
+)
+
+// WeightedLabel is one element of the fully-labeled weighted sample Σ
+// (Section 3.5): a probed input point (by oracle index) together with
+// its revealed label and the weight assigned by the level that sampled
+// it.
+type WeightedLabel struct {
+	Item   int // index into the input set P
+	Label  geom.Label
+	Weight float64
+}
+
+// Run1D executes the Section 3 algorithm on a totally ordered subset
+// of the input: items[i] is an oracle index and keys[i] its position
+// on the 1-D axis; keys must be sorted in non-decreasing order (chain
+// runs use the position index itself, so keys are strictly
+// increasing). It returns the weighted sample Σ; by Lemma 13 the
+// framework's estimate f(h^τ) equals w-err_Σ(h^τ) for every threshold
+// classifier, and by (8)–(10) minimizing w-err_Σ yields a
+// (1+ε)-approximate threshold with probability 1-δ.
+//
+// The probing cost is O((1/ε²)·log m·log(m/δ)) oracle calls for
+// m = len(items) (Lemma 9); calls are made through o, so wrap it with
+// the oracle package's instrumentation to measure.
+func Run1D(o oracle.Oracle, items []int, keys []float64, par Params, rng *rand.Rand) ([]WeightedLabel, error) {
+	if err := par.validate(); err != nil {
+		return nil, err
+	}
+	if len(items) != len(keys) {
+		return nil, fmt.Errorf("core: %d items but %d keys", len(items), len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, fmt.Errorf("core: keys not sorted at position %d", i)
+		}
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	r := &run1d{
+		o:     o,
+		items: items,
+		keys:  keys,
+		par:   par,
+		rng:   rng,
+		depth: maxDepth(len(items)),
+	}
+	if par.exhaustive() {
+		return r.probeAll(0, len(items))
+	}
+	return r.recurse(0, len(items), 1)
+}
+
+// run1d carries the shared state of one Run1D invocation. Levels
+// operate on contiguous slices [lo, hi) of the key-sorted items.
+type run1d struct {
+	o     oracle.Oracle
+	items []int
+	keys  []float64
+	par   Params
+	rng   *rand.Rand
+	depth int // precomputed recursion bound h
+}
+
+// probeAll reveals every label in [lo, hi) and returns them as an
+// exact (weight-1) sample: the base case of Section 3.2 and the
+// fallback whenever sampling cannot beat exhaustive probing.
+func (r *run1d) probeAll(lo, hi int) ([]WeightedLabel, error) {
+	out := make([]WeightedLabel, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		label, err := r.o.Probe(r.items[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: probing item %d: %w", r.items[i], err)
+		}
+		out = append(out, WeightedLabel{Item: r.items[i], Label: label, Weight: 1})
+	}
+	return out, nil
+}
+
+// levelSampleSize returns the Lemma-5 sample size for one estimator at
+// a level of population m: absolute error φ·m on a count estimate with
+// per-estimator failure probability δ/(2h(m+1)), union-bounded over
+// the m+1 effective thresholds and the 2h estimators of the run.
+func (r *run1d) levelSampleSize(m int) int {
+	phi := r.par.Epsilon / r.par.PhiDivisor
+	deltaLevel := r.par.Delta / (2 * float64(r.depth) * float64(m+1))
+	if deltaLevel >= 1 {
+		deltaLevel = 0.5
+	}
+	return sampling.SampleSize(phi, deltaLevel, 1, r.par.SampleConstant)
+}
+
+// sampledErr evaluates the scaled empirical error function
+// g(h^τ) = (pop/|S|)·err_S(h^τ) on a probed sample, for all candidate
+// thresholds, and locates the region where g < bar.
+type sampledErr struct {
+	// sorted distinct sample keys and, for each, the g value on the
+	// half-open interval starting at that key.
+	starts   []float64
+	vals     []float64
+	atNegInf float64 // g value on (-inf, starts[0])
+}
+
+// buildSampledErr probes the with-replacement sample draws (indices
+// into [lo, hi)) and assembles the step function g.
+func (r *run1d) buildSampledErr(lo int, draws []int, pop int) (sampledErr, error) {
+	type obs struct {
+		key   float64
+		label geom.Label
+	}
+	observations := make([]obs, len(draws))
+	for i, rel := range draws {
+		idx := lo + rel
+		label, err := r.o.Probe(r.items[idx])
+		if err != nil {
+			return sampledErr{}, fmt.Errorf("core: probing item %d: %w", r.items[idx], err)
+		}
+		observations[i] = obs{key: r.keys[idx], label: label}
+	}
+	sort.Slice(observations, func(i, j int) bool { return observations[i].key < observations[j].key })
+
+	scale := float64(pop) / float64(len(draws))
+	// At τ = -inf every sample point is classified 1: the error is the
+	// number of label-0 observations. Sweeping τ right past a key
+	// flips that key's observations to predicted 0.
+	errNow := 0
+	for _, ob := range observations {
+		if ob.label == geom.Negative {
+			errNow++
+		}
+	}
+	se := sampledErr{atNegInf: float64(errNow) * scale}
+	for i := 0; i < len(observations); {
+		j := i
+		for j < len(observations) && observations[j].key == observations[i].key {
+			if observations[j].label == geom.Positive {
+				errNow++
+			} else {
+				errNow--
+			}
+			j++
+		}
+		se.starts = append(se.starts, observations[i].key)
+		se.vals = append(se.vals, float64(errNow)*scale)
+		i = j
+	}
+	return se, nil
+}
+
+// qualifyingRange finds the span of thresholds where g < bar:
+// alpha is the smallest such threshold (possibly -Inf) and hiSup the
+// supremum key after the last qualifying interval (possibly +Inf).
+// found is false when no threshold qualifies.
+func (se sampledErr) qualifyingRange(bar float64) (alpha, hiSup float64, found bool) {
+	alpha = math.Inf(1)
+	hiSup = math.Inf(-1)
+	if se.atNegInf < bar {
+		alpha = math.Inf(-1)
+		found = true
+		if len(se.starts) > 0 {
+			hiSup = se.starts[0]
+		} else {
+			hiSup = math.Inf(1)
+		}
+	}
+	for i, v := range se.vals {
+		if v >= bar {
+			continue
+		}
+		found = true
+		if se.starts[i] < alpha {
+			alpha = se.starts[i]
+		}
+		if i+1 < len(se.starts) {
+			if se.starts[i+1] > hiSup {
+				hiSup = se.starts[i+1]
+			}
+		} else {
+			hiSup = math.Inf(1)
+		}
+	}
+	return alpha, hiSup, found
+}
+
+// emitTrace reports one level to the installed tracer, if any.
+func (r *run1d) emitTrace(tr LevelTrace) {
+	if r.par.Trace != nil {
+		r.par.Trace(tr)
+	}
+}
+
+// recurse implements one level of the Section 3.2 framework on the
+// population [lo, hi).
+func (r *run1d) recurse(lo, hi, level int) ([]WeightedLabel, error) {
+	m := hi - lo
+	if m == 0 {
+		return nil, nil
+	}
+	// Base case |P| <= 7 (and a depth guard: the recursion provably
+	// shrinks by 5/8 per level when the estimates hold, so exceeding
+	// the precomputed bound means an estimate failed; exhaustive
+	// probing restores exactness on the residual population).
+	if m <= r.par.BaseCase || level > r.depth {
+		r.emitTrace(LevelTrace{Depth: level, Size: m, Exhaustive: true})
+		return r.probeAll(lo, hi)
+	}
+	t := r.levelSampleSize(m)
+	if t >= m {
+		// Sampling cannot beat revealing every label.
+		r.emitTrace(LevelTrace{Depth: level, Size: m, SampleSize: t, Exhaustive: true})
+		return r.probeAll(lo, hi)
+	}
+
+	// g1: scaled empirical error from sample S1 of the population.
+	s1 := sampling.WithReplacement(r.rng, m, t)
+	g1, err := r.buildSampledErr(lo, s1, m)
+	if err != nil {
+		return nil, err
+	}
+	// The level bar |P|·(1/4 - φ) of Section 3.2, with φ = ε/PhiDivisor.
+	bar := float64(m) * (0.25 - r.par.Epsilon/r.par.PhiDivisor)
+	alpha, hiSup, found := g1.qualifyingRange(bar)
+
+	if !found {
+		// α and β do not exist: f = g1, Σ = S1 with weight m/|S1|.
+		r.emitTrace(LevelTrace{Depth: level, Size: m, SampleSize: t})
+		return r.collectSample(lo, s1, float64(m)/float64(len(s1)))
+	}
+
+	// P' = points with key in [alpha, hiSup); contiguous because the
+	// items are key-sorted.
+	pLo := lo + sort.SearchFloat64s(r.keys[lo:hi], alpha)
+	pHi := lo + sort.SearchFloat64s(r.keys[lo:hi], hiSup)
+	if pHi-pLo >= m {
+		// No shrink: an estimate must have failed (Lemma 10 bounds
+		// |P'| by 5/8·|P| otherwise). Fall back to exactness.
+		r.emitTrace(LevelTrace{
+			Depth: level, Size: m, SampleSize: t, Exhaustive: true,
+			BandFound: true, Alpha: alpha, HiSup: hiSup,
+		})
+		return r.probeAll(lo, hi)
+	}
+	r.emitTrace(LevelTrace{
+		Depth: level, Size: m, SampleSize: t,
+		BandFound: true, Alpha: alpha, HiSup: hiSup, NextSize: pHi - pLo,
+	})
+
+	// g2: scaled empirical error over P \ P' via sample S2; its
+	// contribution to Σ carries weight |P\P'|/|S2|.
+	rest := m - (pHi - pLo)
+	var sigma []WeightedLabel
+	if rest > 0 {
+		t2 := t
+		if t2 >= rest {
+			// Exhaust the complement exactly (weight 1).
+			exact, err := r.probeAll(lo, pLo)
+			if err != nil {
+				return nil, err
+			}
+			sigma = append(sigma, exact...)
+			exact, err = r.probeAll(pHi, hi)
+			if err != nil {
+				return nil, err
+			}
+			sigma = append(sigma, exact...)
+		} else {
+			draws := sampling.WithReplacement(r.rng, rest, t2)
+			// Map relative draw positions onto the two complement
+			// segments [lo, pLo) and [pHi, hi).
+			leftLen := pLo - lo
+			abs := make([]int, len(draws))
+			for i, d := range draws {
+				if d < leftLen {
+					abs[i] = d // relative to lo
+				} else {
+					abs[i] = (pHi - lo) + (d - leftLen)
+				}
+			}
+			part, err := r.collectSample(lo, abs, float64(rest)/float64(len(draws)))
+			if err != nil {
+				return nil, err
+			}
+			sigma = append(sigma, part...)
+		}
+	}
+
+	// Recurse on P'.
+	inner, err := r.recurse(pLo, pHi, level+1)
+	if err != nil {
+		return nil, err
+	}
+	return append(sigma, inner...), nil
+}
+
+// collectSample probes the draws (relative to lo) and returns them as
+// Σ entries with the given weight.
+func (r *run1d) collectSample(lo int, draws []int, weight float64) ([]WeightedLabel, error) {
+	out := make([]WeightedLabel, 0, len(draws))
+	for _, rel := range draws {
+		idx := lo + rel
+		label, err := r.o.Probe(r.items[idx])
+		if err != nil {
+			return nil, fmt.Errorf("core: probing item %d: %w", r.items[idx], err)
+		}
+		out = append(out, WeightedLabel{Item: r.items[idx], Label: label, Weight: weight})
+	}
+	return out, nil
+}

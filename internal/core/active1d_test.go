@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/classifier"
+	"monoclass/internal/dataset"
+	"monoclass/internal/geom"
+	"monoclass/internal/oracle"
+)
+
+// make1D builds a sorted 1-D instance: items, keys, and the oracle.
+func make1D(pts []geom.LabeledPoint) (items []int, keys []float64, o *oracle.Static) {
+	items = make([]int, len(pts))
+	keys = make([]float64, len(pts))
+	for i := range pts {
+		items[i] = i
+		keys[i] = pts[i].P[0]
+	}
+	sortByKeys(items, keys)
+	return items, keys, oracle.FromLabeled(pts)
+}
+
+func TestRun1DExhaustiveMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := dataset.Uniform1D(rng, 50, 0.5, 0.2)
+	items, keys, o := make1D(pts)
+	sigma, err := Run1D(o, items, keys, TheoryParams(0, 0.1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) != 50 {
+		t.Fatalf("exhaustive Σ has %d entries, want 50", len(sigma))
+	}
+	seen := map[int]bool{}
+	for _, wl := range sigma {
+		if wl.Weight != 1 {
+			t.Fatalf("exhaustive weight %g, want 1", wl.Weight)
+		}
+		if wl.Label != pts[wl.Item].Label {
+			t.Fatalf("item %d label mismatch", wl.Item)
+		}
+		seen[wl.Item] = true
+	}
+	if len(seen) != 50 {
+		t.Fatal("exhaustive Σ must cover every point")
+	}
+}
+
+func TestRun1DInputValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o := oracle.NewStatic([]geom.Label{0, 1})
+	if _, err := Run1D(o, []int{0, 1}, []float64{1}, PracticalParams(0.5, 0.1), rng); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Run1D(o, []int{0, 1}, []float64{2, 1}, PracticalParams(0.5, 0.1), rng); err == nil {
+		t.Error("unsorted keys accepted")
+	}
+	if _, err := Run1D(o, nil, nil, PracticalParams(0.5, 0.1), rng); err != nil {
+		t.Error("empty input should succeed with empty Σ")
+	}
+	bad := PracticalParams(0.5, 0)
+	if _, err := Run1D(o, []int{0}, []float64{1}, bad, rng); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	bad = PracticalParams(0.5, 0.1)
+	bad.PhiDivisor = 2
+	if _, err := Run1D(o, []int{0}, []float64{1}, bad, rng); err == nil {
+		t.Error("tiny phi divisor accepted")
+	}
+	bad = PracticalParams(0.5, 0.1)
+	bad.SampleConstant = 0
+	if _, err := Run1D(o, []int{0}, []float64{1}, bad, rng); err == nil {
+		t.Error("zero sample constant accepted")
+	}
+	bad = PracticalParams(0.5, 0.1)
+	bad.BaseCase = 0
+	if _, err := Run1D(o, []int{0}, []float64{1}, bad, rng); err == nil {
+		t.Error("zero base case accepted")
+	}
+	bad = PracticalParams(math.NaN(), 0.1)
+	if _, err := Run1D(o, []int{0}, []float64{1}, bad, rng); err == nil {
+		t.Error("NaN epsilon accepted")
+	}
+}
+
+// Σ's total weight always equals the population size: the base case
+// and exhaustive branches contribute weight 1 per point; a sampling
+// level contributes |pop|/t per draw across t draws.
+func TestRun1DSigmaTotalWeightInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 7, 8, 100, 1000, 5000} {
+		pts := dataset.Uniform1D(rng, n, 0.4, 0.15)
+		items, keys, o := make1D(pts)
+		sigma, err := Run1D(o, items, keys, PracticalParams(1, 0.1), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, wl := range sigma {
+			if wl.Weight <= 0 {
+				t.Fatalf("n=%d: non-positive weight %g", n, wl.Weight)
+			}
+			if wl.Label != pts[wl.Item].Label {
+				t.Fatalf("n=%d: Σ label disagrees with ground truth at %d", n, wl.Item)
+			}
+			sum += wl.Weight
+		}
+		if math.Abs(sum-float64(n)) > 1e-6*float64(n) {
+			t.Errorf("n=%d: Σ total weight %g, want %d", n, sum, n)
+		}
+	}
+}
+
+func TestRun1DPropagatesOracleErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := dataset.Uniform1D(rng, 200, 0.5, 0)
+	items, keys, _ := make1D(pts)
+	budgeted := oracle.NewBudgeted(oracle.FromLabeled(pts), 10)
+	if _, err := Run1D(budgeted, items, keys, PracticalParams(0.5, 0.1), rng); err == nil {
+		t.Error("budget exhaustion not propagated")
+	}
+}
+
+func TestLearn1DNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lab := dataset.Uniform1D(rng, 3000, 0.6, 0)
+	pts := make([]geom.Point, len(lab))
+	for i, lp := range lab {
+		pts[i] = lp.P
+	}
+	h, sigma, err := Learn1D(pts, oracle.FromLabeled(lab), PracticalParams(0.5, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) == 0 {
+		t.Fatal("empty Σ")
+	}
+	// k* = 0, so with high probability the returned classifier is
+	// exactly optimal: zero error on P.
+	if got := geom.Err(lab, h.Classify); got != 0 {
+		t.Errorf("noiseless error = %d, want 0 (k* = 0 case of Theorem 2)", got)
+	}
+}
+
+func TestLearn1DApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const (
+		n     = 4000
+		eps   = 0.5
+		noise = 0.1
+	)
+	var ratios []float64
+	for trial := 0; trial < 12; trial++ {
+		lab := dataset.Uniform1D(rng, n, 0.5, noise)
+		pts := make([]geom.Point, len(lab))
+		for i, lp := range lab {
+			pts[i] = lp.P
+		}
+		ld := geom.LabeledDataset{Points: lab}
+		_, kstar := classifier.BestThreshold1D(ld.Weighted())
+		if kstar <= 0 {
+			continue
+		}
+		in := oracle.InstrumentLabeled(lab)
+		h, _, err := Learn1D(pts, in.O, PracticalParams(eps, 0.05), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(geom.Err(lab, h.Classify))
+		ratios = append(ratios, got/kstar)
+		if in.DistinctProbes() > n {
+			t.Fatalf("trial %d: probed more than n points", trial)
+		}
+	}
+	if len(ratios) == 0 {
+		t.Fatal("no usable trials")
+	}
+	var worst, sum float64
+	for _, r := range ratios {
+		sum += r
+		if r > worst {
+			worst = r
+		}
+	}
+	if mean := sum / float64(len(ratios)); mean > 1+eps {
+		t.Errorf("mean error ratio %g exceeds 1+ε = %g", mean, 1+eps)
+	}
+	if worst > 1+2*eps {
+		t.Errorf("worst error ratio %g far beyond 1+ε = %g", worst, 1+eps)
+	}
+}
+
+func TestLearn1DProbesSublinearAtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 60000
+	lab := dataset.Uniform1D(rng, n, 0.5, 0.05)
+	pts := make([]geom.Point, len(lab))
+	for i, lp := range lab {
+		pts[i] = lp.P
+	}
+	in := oracle.InstrumentLabeled(lab)
+	_, _, err := Learn1D(pts, in.O, PracticalParams(1, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes := in.DistinctProbes(); probes >= n/2 {
+		t.Errorf("probes = %d on n = %d: expected clearly sublinear", probes, n)
+	}
+}
+
+func TestLearn1DValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, sigma, err := Learn1D(nil, oracle.NewStatic(nil), PracticalParams(0.5, 0.1), rng)
+	if err != nil || len(sigma) != 0 || !math.IsInf(h.Tau, -1) {
+		t.Error("empty input mishandled")
+	}
+	pts2 := []geom.Point{{1, 2}}
+	if _, _, err := Learn1D(pts2, oracle.NewStatic([]geom.Label{0}), PracticalParams(0.5, 0.1), rng); err == nil {
+		t.Error("2-D point accepted by Learn1D")
+	}
+	pts := []geom.Point{{1}}
+	if _, _, err := Learn1D(pts, oracle.NewStatic(nil), PracticalParams(0.5, 0.1), rng); err == nil {
+		t.Error("oracle size mismatch accepted")
+	}
+}
+
+func TestRun1DDeterministicGivenSeed(t *testing.T) {
+	lab := dataset.Uniform1D(rand.New(rand.NewSource(3)), 2000, 0.5, 0.1)
+	items, keys, o := make1D(lab)
+	run := func() []WeightedLabel {
+		s, err := Run1D(o, items, keys, PracticalParams(0.7, 0.1), rand.New(rand.NewSource(99)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic Σ size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic Σ at %d", i)
+		}
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	if maxDepth(0) != 1 || maxDepth(1) != 1 {
+		t.Error("degenerate depths wrong")
+	}
+	// 5/8 shrinkage from n must reach 1 within maxDepth(n) levels.
+	for _, n := range []int{2, 10, 1000, 1 << 20} {
+		m := float64(n)
+		for i := 0; i < maxDepth(n); i++ {
+			m *= 5.0 / 8.0
+		}
+		if m > 1 {
+			t.Errorf("maxDepth(%d) too shallow", n)
+		}
+	}
+}

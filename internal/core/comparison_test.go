@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/classifier"
+	"monoclass/internal/dataset"
+	"monoclass/internal/geom"
+	"monoclass/internal/oracle"
+)
+
+// TestEpsilonComparisonProperty verifies Lemma 14's guarantee
+// directly: for the collected sample Σ and any two threshold
+// classifiers h, h' on a 1-D input,
+//
+//	w-err_Σ(h) <= w-err_Σ(h')  implies  err_P(h) <= (1+ε)·err_P(h'),
+//
+// with high probability over the run. We draw many random threshold
+// pairs and count violations; at δ = 0.05 the property should hold on
+// essentially every pair (the guarantee is uniform over all of
+// H_mono, so spot-checking pairs is strictly weaker than the claim).
+func TestEpsilonComparisonProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	const (
+		n   = 20000
+		eps = 0.5
+	)
+	lab := dataset.Uniform1D(rng, n, 0.5, 0.1)
+	pts := make([]geom.Point, n)
+	for i, lp := range lab {
+		pts[i] = lp.P
+	}
+	_, sigma, err := Learn1D(pts, oracle.FromLabeled(lab), PracticalParams(eps, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) == 0 {
+		t.Fatal("empty Σ")
+	}
+
+	errOnP := func(tau float64) float64 {
+		h := classifier.Threshold1D{Tau: tau}
+		return float64(geom.Err(lab, h.Classify))
+	}
+	errOnSigma := func(tau float64) float64 {
+		h := classifier.Threshold1D{Tau: tau}
+		return geom.WErr(sigma, h.Classify)
+	}
+
+	violations, checked := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		x := rng.Float64()
+		y := rng.Float64()
+		sx, sy := errOnSigma(x), errOnSigma(y)
+		px, py := errOnP(x), errOnP(y)
+		// Orient so that x is the Σ-preferred threshold.
+		if sx > sy {
+			x, y = y, x
+			px, py = py, px
+		}
+		checked++
+		if px > (1+eps)*py+1e-9 {
+			violations++
+			t.Logf("violation: τ=%g preferred on Σ but err_P %g > (1+ε)·%g", x, px, py)
+		}
+	}
+	if violations > checked/50 {
+		t.Errorf("ε-comparison property violated on %d of %d threshold pairs", violations, checked)
+	}
+	// The -Inf threshold (all positive) participates in H_mono(P) too.
+	sNeg, pNeg := errOnSigma(math.Inf(-1)), errOnP(math.Inf(-1))
+	sMid, pMid := errOnSigma(0.5), errOnP(0.5)
+	if sMid <= sNeg && pMid > (1+eps)*pNeg+1e-9 {
+		t.Error("ε-comparison violated against the -Inf threshold")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"monoclass/internal/chains"
+	"monoclass/internal/classifier"
+	"monoclass/internal/geom"
+	"monoclass/internal/oracle"
+	"monoclass/internal/passive"
+)
+
+// Result is the outcome of the active algorithm.
+type Result struct {
+	// Classifier is the learned monotone classifier, total on R^d.
+	Classifier *classifier.AnchorSet
+	// Sigma is the fully-labeled weighted sample Σ = ∪ Σ_i of
+	// Lemma 14; the classifier minimizes w-err_Σ over all monotone
+	// classifiers (Theorem 3's reduction to Problem 2).
+	Sigma geom.WeightedSet
+	// SigmaWErr is w-err_Σ(Classifier), the minimized surrogate.
+	SigmaWErr float64
+	// Width is the dominance width w of the input.
+	Width int
+	// Probes is the number of distinct points probed when the oracle
+	// was instrumented by this call (see ActiveLearn); -1 otherwise.
+	Probes int
+	// Timing breaks down the phases of Theorem 3's cost.
+	Timing Timing
+}
+
+// Timing records wall-clock per phase of the pipeline.
+type Timing struct {
+	Decompose time.Duration // chain decomposition (Lemma 6)
+	Probe     time.Duration // per-chain 1-D runs (Section 3)
+	Solve     time.Duration // passive solve on Σ (Theorem 4)
+}
+
+// ActiveLearn runs the full Theorem 2+3 pipeline on the unlabeled
+// point set pts against a label oracle:
+//
+//  1. decompose pts into w chains (Lemma 6);
+//  2. run the Section 3 sampler on each chain with failure budget
+//     Delta/w, collecting Σ = ∪ Σ_i;
+//  3. solve passive weighted classification on Σ (Theorem 4) to find
+//     the monotone classifier minimizing w-err_Σ.
+//
+// With probability at least 1-Delta the result is (1+ε)-approximate:
+// err_P(h) <= (1+ε)·k*. The expected probing cost is
+// O((w/ε²)·log n·log(n/w)).
+//
+// The supplied oracle is wrapped in a reveal cache so that repeat
+// draws of one point cost a single probe; Result.Probes reports the
+// distinct-probe count.
+func ActiveLearn(pts []geom.Point, o oracle.Oracle, par Params, rng *rand.Rand) (Result, error) {
+	return ActiveLearnChains(pts, o, par, rng, nil)
+}
+
+// ActiveLearnChains is ActiveLearn with a caller-supplied chain
+// decomposition (each chain a slice of point indices in ascending
+// dominance order, jointly partitioning the input). Passing nil
+// computes the minimum decomposition as usual. A suboptimal
+// decomposition (more chains than the dominance width) is still
+// correct — every chain run keeps its per-chain guarantee — but pays
+// proportionally more probes, which the greedy-vs-matching ablation
+// (experiment A1) quantifies.
+func ActiveLearnChains(pts []geom.Point, o oracle.Oracle, par Params, rng *rand.Rand, chainSets [][]int) (Result, error) {
+	if err := par.validate(); err != nil {
+		return Result{}, err
+	}
+	if len(pts) == 0 {
+		return Result{}, fmt.Errorf("core: empty input set")
+	}
+	if o.Len() != len(pts) {
+		return Result{}, fmt.Errorf("core: oracle covers %d points, input has %d", o.Len(), len(pts))
+	}
+	cache := oracle.NewCaching(o)
+
+	start := time.Now()
+	var dec chains.Decomposition
+	if chainSets == nil {
+		dec = chains.Decompose(pts)
+	} else {
+		if err := chains.ValidateDecomposition(pts, chainSets); err != nil {
+			return Result{}, fmt.Errorf("core: supplied decomposition invalid: %w", err)
+		}
+		dec = chains.Decomposition{Chains: chainSets, Width: len(chainSets)}
+	}
+	var res Result
+	res.Width = dec.Width
+	res.Timing.Decompose = time.Since(start)
+
+	// Split the failure budget evenly over the w per-chain runs (the
+	// paper uses δ = 1/(w·n²) per chain to reach 1 - 1/n² overall).
+	chainPar := par
+	chainPar.Delta = par.Delta / float64(dec.Width)
+
+	start = time.Now()
+	sigma, err := runChainsParallel(cache, dec.Chains, chainPar, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Timing.Probe = time.Since(start)
+	res.Probes = cache.Distinct()
+
+	// Materialize Σ as a weighted point set and solve Problem 2 on it.
+	ws := make(geom.WeightedSet, len(sigma))
+	for i, wl := range sigma {
+		ws[i] = geom.WeightedPoint{P: pts[wl.Item], Label: wl.Label, Weight: wl.Weight}
+	}
+	ws = ws.Coalesce()
+
+	start = time.Now()
+	sol, err := passive.Solve(ws, passive.Options{})
+	if err != nil {
+		return Result{}, fmt.Errorf("core: passive solve on Σ: %w", err)
+	}
+	res.Timing.Solve = time.Since(start)
+	res.Classifier = sol.Classifier
+	res.Sigma = ws
+	res.SigmaWErr = sol.WErr
+	return res, nil
+}
+
+// Learn1D is the Lemma 9 entry point for one-dimensional inputs: it
+// runs the Section 3 sampler directly on the coordinate axis and
+// returns the threshold classifier minimizing w-err_Σ, together with
+// Σ itself.
+func Learn1D(pts []geom.Point, o oracle.Oracle, par Params, rng *rand.Rand) (classifier.Threshold1D, geom.WeightedSet, error) {
+	if err := par.validate(); err != nil {
+		return classifier.Threshold1D{}, nil, err
+	}
+	if len(pts) == 0 {
+		return classifier.Threshold1D{Tau: math.Inf(-1)}, nil, nil
+	}
+	for i, p := range pts {
+		if len(p) != 1 {
+			return classifier.Threshold1D{}, nil, fmt.Errorf("core: point %d is %d-dimensional, want 1", i, len(p))
+		}
+	}
+	if o.Len() != len(pts) {
+		return classifier.Threshold1D{}, nil, fmt.Errorf("core: oracle covers %d points, input has %d", o.Len(), len(pts))
+	}
+	cache := oracle.NewCaching(o)
+
+	items := make([]int, len(pts))
+	for i := range items {
+		items[i] = i
+	}
+	keys := make([]float64, len(pts))
+	for i, p := range pts {
+		keys[i] = p[0]
+	}
+	sortByKeys(items, keys)
+
+	sigma, err := Run1D(cache, items, keys, par, rng)
+	if err != nil {
+		return classifier.Threshold1D{}, nil, err
+	}
+	ws := make(geom.WeightedSet, len(sigma))
+	for i, wl := range sigma {
+		ws[i] = geom.WeightedPoint{P: pts[wl.Item], Label: wl.Label, Weight: wl.Weight}
+	}
+	ws = ws.Coalesce()
+	h, _ := classifier.BestThreshold1D(ws)
+	return h, ws, nil
+}
+
+// sortByKeys sorts items and keys jointly by ascending key, keeping
+// input order for equal keys.
+func sortByKeys(items []int, keys []float64) {
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	newItems := make([]int, len(items))
+	newKeys := make([]float64, len(keys))
+	for i, j := range idx {
+		newItems[i] = items[j]
+		newKeys[i] = keys[j]
+	}
+	copy(items, newItems)
+	copy(keys, newKeys)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"monoclass/internal/geom"
+	"monoclass/internal/oracle"
+)
+
+// runChainsParallel executes the Section 3 sampler on every chain,
+// fanning the independent per-chain runs across CPU cores. The result
+// is deterministic regardless of scheduling: each chain receives its
+// own rand.Rand seeded from the master generator before any goroutine
+// starts, and Σ parts are concatenated in chain order.
+//
+// The shared oracle is serialized behind a mutex (implementations
+// such as the counting and caching wrappers are not safe for
+// concurrent use); the parallel win comes from the CPU work around
+// probing — sampling, sorting, and the per-level bookkeeping.
+func runChainsParallel(o oracle.Oracle, chainSets [][]int, par Params, rng *rand.Rand) ([]WeightedLabel, error) {
+	// Derive per-chain seeds up front so the master generator is
+	// consumed identically whatever the worker count.
+	seeds := make([]int64, len(chainSets))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	locked := &lockedOracle{inner: o}
+	parts := make([][]WeightedLabel, len(chainSets))
+	errs := make([]error, len(chainSets))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(chainSets) {
+		workers = len(chainSets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				chain := chainSets[c]
+				keys := make([]float64, len(chain))
+				for i := range chain {
+					keys[i] = float64(i) // chain position is the 1-D axis
+				}
+				parts[c], errs[c] = Run1D(locked, chain, keys, par, rand.New(rand.NewSource(seeds[c])))
+			}
+		}()
+	}
+	for c := range chainSets {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+
+	var sigma []WeightedLabel
+	for c := range chainSets {
+		if errs[c] != nil {
+			return nil, errs[c]
+		}
+		sigma = append(sigma, parts[c]...)
+	}
+	return sigma, nil
+}
+
+// lockedOracle makes any oracle safe for concurrent probing.
+type lockedOracle struct {
+	mu    sync.Mutex
+	inner oracle.Oracle
+}
+
+// Probe implements oracle.Oracle.
+func (l *lockedOracle) Probe(i int) (geom.Label, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Probe(i)
+}
+
+// Len implements oracle.Oracle.
+func (l *lockedOracle) Len() int { return l.inner.Len() }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"monoclass/internal/dataset"
+	"monoclass/internal/geom"
+	"monoclass/internal/oracle"
+)
+
+// ActiveLearn's parallel chain fan-out must be deterministic given the
+// seed, independent of goroutine scheduling.
+func TestActiveLearnParallelDeterminism(t *testing.T) {
+	lab := dataset.WidthControlled(rand.New(rand.NewSource(3)), dataset.WidthParams{N: 8000, W: 8, Noise: 0.1})
+	pts := make([]geom.Point, len(lab))
+	for i, lp := range lab {
+		pts[i] = lp.P
+	}
+	run := func() geom.WeightedSet {
+		res, err := ActiveLearn(pts, oracle.FromLabeled(lab), PracticalParams(0.5, 0.05), rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sigma
+	}
+	a := run()
+	for attempt := 0; attempt < 3; attempt++ {
+		b := run()
+		if len(a) != len(b) {
+			t.Fatalf("non-deterministic Σ size: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].P.Equal(b[i].P) || a[i].Label != b[i].Label || a[i].Weight != b[i].Weight {
+				t.Fatalf("non-deterministic Σ at %d", i)
+			}
+		}
+	}
+}
+
+// A stateful oracle shared across chains must not race; the race
+// detector (go test -race) exercises this path.
+func TestActiveLearnParallelWithStatefulOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lab := dataset.WidthControlled(rng, dataset.WidthParams{N: 6000, W: 12, Noise: 0.05})
+	pts := make([]geom.Point, len(lab))
+	for i, lp := range lab {
+		pts[i] = lp.P
+	}
+	in := oracle.InstrumentLabeled(lab)
+	if _, err := ActiveLearn(pts, in.O, PracticalParams(1, 0.05), rng); err != nil {
+		t.Fatal(err)
+	}
+	if in.DistinctProbes() == 0 || in.DistinctProbes() > len(pts) {
+		t.Errorf("probe accounting wrong under parallelism: %d", in.DistinctProbes())
+	}
+}
+
+func TestLockedOracleConcurrency(t *testing.T) {
+	labels := make([]geom.Label, 100)
+	counting := oracle.NewCounting(oracle.NewStatic(labels))
+	locked := &lockedOracle{inner: counting}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := locked.Probe(i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counting.Probes() != 800 {
+		t.Errorf("probes = %d, want 800", counting.Probes())
+	}
+	if locked.Len() != 100 {
+		t.Error("Len not forwarded")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/chains"
+	"monoclass/internal/classifier"
+	"monoclass/internal/dataset"
+	"monoclass/internal/geom"
+	"monoclass/internal/oracle"
+	"monoclass/internal/passive"
+)
+
+// ActiveLearnChains must accept any valid decomposition and reject
+// invalid ones.
+func TestActiveLearnChainsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	lab := dataset.WidthControlled(rng, dataset.WidthParams{N: 2000, W: 4, Noise: 0})
+	pts, o := split(lab)
+	greedy := chains.GreedyDecompose(pts)
+	res, err := ActiveLearnChains(pts, o, PracticalParams(0.5, 0.05), rng, greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width != len(greedy) {
+		t.Errorf("width reported %d, want chain count %d", res.Width, len(greedy))
+	}
+	if got := geom.Err(lab, res.Classifier.Classify); got != 0 {
+		t.Errorf("noiseless err = %d, want 0 even with a suboptimal decomposition", got)
+	}
+}
+
+func TestActiveLearnChainsRejectsInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lab := dataset.WidthControlled(rng, dataset.WidthParams{N: 100, W: 2, Noise: 0})
+	pts, o := split(lab)
+	// A decomposition that misses points.
+	bad := [][]int{{0, 1}}
+	if _, err := ActiveLearnChains(pts, o, PracticalParams(0.5, 0.05), rng, bad); err == nil {
+		t.Error("incomplete decomposition accepted")
+	}
+}
+
+// Failure injection: a noisy oracle (inconsistent with the true
+// labels) must not break the algorithm — the result is still a valid
+// monotone classifier, and probing stays within n.
+func TestActiveLearnUnderLabelNoiseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	lab := dataset.WidthControlled(rng, dataset.WidthParams{N: 5000, W: 4, Noise: 0})
+	pts, base := split(lab)
+	noisy := oracle.NewNoisy(base, 0.3, rng)
+	counting := oracle.NewCounting(noisy)
+	res, err := ActiveLearn(pts, counting, PracticalParams(0.5, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, p, q := classifier.IsMonotoneOn(pts, res.Classifier); !ok {
+		t.Errorf("classifier not monotone under label noise: %v vs %v", p, q)
+	}
+	if counting.Probes() > len(pts) {
+		t.Errorf("probed %d > n=%d despite caching", counting.Probes(), len(pts))
+	}
+}
+
+// Degenerate inputs must not trip the pipeline.
+func TestActiveLearnDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	// All points identical.
+	pts := make([]geom.Point, 50)
+	labels := make([]geom.Label, 50)
+	for i := range pts {
+		pts[i] = geom.Point{1, 1}
+		labels[i] = geom.Label(i % 2)
+	}
+	res, err := ActiveLearn(pts, oracle.NewStatic(labels), PracticalParams(0.5, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width != 1 {
+		t.Errorf("identical points: width %d, want 1", res.Width)
+	}
+	// Single point.
+	res, err = ActiveLearn(pts[:1], oracle.NewStatic(labels[:1]), PracticalParams(0.5, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classifier.Classify(geom.Point{1, 1}) != labels[0] {
+		t.Error("single point mis-learned")
+	}
+	// All same label.
+	allPos := make([]geom.Label, 50)
+	for i := range allPos {
+		allPos[i] = geom.Positive
+	}
+	res, err = ActiveLearn(pts, oracle.NewStatic(allPos), PracticalParams(0.5, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classifier.Classify(geom.Point{1, 1}) != geom.Positive {
+		t.Error("constant-positive input mis-learned")
+	}
+}
+
+// Property: across random small instances, the active learner at
+// exhaustive settings (theory params force probe-all at these sizes)
+// always returns an exactly optimal classifier — Theorem 2 with the
+// failure probability driven to zero by exhaustiveness.
+func TestActiveLearnExhaustiveAlwaysOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(15)
+		lab := make([]geom.LabeledPoint, n)
+		for i := range lab {
+			lab[i] = geom.LabeledPoint{
+				P:     geom.Point{float64(rng.Intn(5)), float64(rng.Intn(5))},
+				Label: geom.Label(rng.Intn(2)),
+			}
+		}
+		pts, o := split(lab)
+		res, err := ActiveLearn(pts, o, TheoryParams(0.5, 0.05), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ld := geom.LabeledDataset{Points: lab}
+		naive, err := naiveOptimal(ld.Weighted())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := geom.Err(lab, res.Classifier.Classify); float64(got) != naive {
+			t.Fatalf("trial %d: err %d != optimum %g", trial, got, naive)
+		}
+	}
+}
+
+// naiveOptimal computes k* via the exponential reference solver.
+func naiveOptimal(ws geom.WeightedSet) (float64, error) {
+	sol, err := passive.NaiveSolve(ws)
+	if err != nil {
+		return 0, err
+	}
+	return sol.WErr, nil
+}
+
+// The inverted chain (k* = n/2) keeps every threshold's error near
+// |P|/2, so the α/β band never forms and the recursion terminates at
+// depth 1 — the framework's "no dip" branch. The learner must still
+// return a valid (1+ε)-approximate classifier.
+func TestActiveLearnOnLabelInversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	lab := dataset.LabelInversion(10000)
+	pts, o := split(lab)
+	res, err := ActiveLearn(pts, o, PracticalParams(0.5, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errP := geom.Err(lab, res.Classifier.Classify)
+	if float64(errP) > 1.5*5000 {
+		t.Errorf("err = %d exceeds (1+ε)·k* = 7500", errP)
+	}
+}
+
+// A pure antichain degenerates to per-point chains: the algorithm
+// probes everything (w = n) and returns the exact optimum k* = 0.
+func TestActiveLearnOnAntiDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	lab := dataset.AntiDiagonal(rng, 400)
+	pts, base := split(lab)
+	counting := oracle.NewCounting(base)
+	res, err := ActiveLearn(pts, counting, PracticalParams(0.5, 0.05), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Width != 400 {
+		t.Errorf("width = %d, want 400", res.Width)
+	}
+	if got := geom.Err(lab, res.Classifier.Classify); got != 0 {
+		t.Errorf("err = %d, want 0 (any antichain labeling is consistent)", got)
+	}
+}

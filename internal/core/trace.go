@@ -1,0 +1,35 @@
+package core
+
+import "math"
+
+// LevelTrace records one recursion level of the Section 3 framework,
+// exposing the quantities its analysis reasons about: the population
+// size, the Lemma-5 sample size, whether the level fell back to
+// exhaustive probing, the located band [Alpha, HiSup), and the size of
+// the surviving population P'. Lemma 10 predicts
+// NextSize <= ceil(5/8 · Size) whenever the estimates held.
+type LevelTrace struct {
+	Depth      int     // recursion depth, 1-based
+	Size       int     // |P| at this level
+	SampleSize int     // Lemma-5 sample size t for each estimator
+	Exhaustive bool    // level probed everything (base case, t >= |P|, or guard)
+	BandFound  bool    // α/β existed (recursion continued)
+	Alpha      float64 // band start (valid when BandFound)
+	HiSup      float64 // band supremum (valid when BandFound)
+	NextSize   int     // |P'| (0 when the recursion stopped here)
+}
+
+// Tracer receives one LevelTrace per recursion level, in execution
+// order. Install via Params.Trace; nil means no tracing. Chain runs of
+// the multi-dimensional algorithm each produce their own level
+// sequence (identified by monotonically restarting Depth).
+//
+// Tracing is a diagnostic hook: it must not mutate anything. When the
+// multi-dimensional pipeline fans chains across goroutines, the
+// tracer is invoked concurrently; installers must synchronize.
+type Tracer func(LevelTrace)
+
+// shrinkBound returns the Lemma 10 bound ceil(5/8 · m) on |P'|.
+func shrinkBound(m int) int {
+	return int(math.Ceil(5.0 / 8.0 * float64(m)))
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"monoclass/internal/dataset"
+	"monoclass/internal/geom"
+	"monoclass/internal/oracle"
+)
+
+// The trace must expose the Lemma 10 behaviour: whenever a level found
+// its band and recursed, the surviving population is at most
+// ceil(5/8·|P|) — the paper's geometric shrinkage — in the
+// overwhelming majority of levels (the bound is itself a
+// high-probability statement).
+func TestTraceLemma10Shrinkage(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	lab := dataset.Uniform1D(rng, 50000, 0.5, 0.1)
+	items, keys, o := make1D(lab)
+	var traces []LevelTrace
+	par := PracticalParams(0.5, 0.05)
+	par.Trace = func(tr LevelTrace) { traces = append(traces, tr) }
+	if _, err := Run1D(o, items, keys, par, rng); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) < 3 {
+		t.Fatalf("expected a multi-level recursion, got %d levels", len(traces))
+	}
+	recursions, violations := 0, 0
+	for i, tr := range traces {
+		if tr.Size <= 0 {
+			t.Fatalf("level %d: non-positive size", i)
+		}
+		if tr.Depth != i+1 {
+			t.Fatalf("level %d: depth %d out of order", i, tr.Depth)
+		}
+		if tr.BandFound && !tr.Exhaustive {
+			recursions++
+			if tr.NextSize > shrinkBound(tr.Size) {
+				violations++
+			}
+			if tr.NextSize <= 0 || tr.NextSize >= tr.Size {
+				t.Fatalf("level %d: NextSize %d out of range for Size %d", i, tr.NextSize, tr.Size)
+			}
+			if tr.Alpha >= tr.HiSup {
+				t.Fatalf("level %d: degenerate band [%g, %g)", i, tr.Alpha, tr.HiSup)
+			}
+			// The next level's size must agree with this one's NextSize.
+			if i+1 < len(traces) && traces[i+1].Size != tr.NextSize {
+				t.Fatalf("level %d: NextSize %d but next level has %d", i, tr.NextSize, traces[i+1].Size)
+			}
+		}
+	}
+	if recursions == 0 {
+		t.Fatal("no recursive levels traced")
+	}
+	if violations > recursions/4 {
+		t.Errorf("Lemma 10 shrinkage violated on %d of %d levels", violations, recursions)
+	}
+	// The deepest level always resolves exhaustively (base case or
+	// sample-size cap).
+	last := traces[len(traces)-1]
+	if !last.Exhaustive && last.BandFound {
+		t.Error("recursion ended on a non-terminal trace")
+	}
+}
+
+// Tracing through the parallel multi-dimensional pipeline must be
+// race-safe when the installer synchronizes.
+func TestTraceParallelPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	lab := dataset.WidthControlled(rng, dataset.WidthParams{N: 20000, W: 6, Noise: 0.05})
+	pts := make([]geom.Point, len(lab))
+	for i, lp := range lab {
+		pts[i] = lp.P
+	}
+	var mu sync.Mutex
+	perChainRoots := 0
+	par := PracticalParams(0.5, 0.05)
+	par.Trace = func(tr LevelTrace) {
+		mu.Lock()
+		defer mu.Unlock()
+		if tr.Depth == 1 {
+			perChainRoots++
+		}
+	}
+	if _, err := ActiveLearn(pts, oracle.FromLabeled(lab), par, rng); err != nil {
+		t.Fatal(err)
+	}
+	if perChainRoots != 6 {
+		t.Errorf("traced %d chain roots, want 6 (one per chain)", perChainRoots)
+	}
+}
+
+func TestShrinkBound(t *testing.T) {
+	if shrinkBound(8) != 5 || shrinkBound(1000) != 625 || shrinkBound(1) != 1 {
+		t.Error("shrinkBound arithmetic wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"monoclass/internal/geom"
+)
+
+// Adversarial generators: inputs that stress specific components, used
+// by tests and the hardening benches.
+
+// NoisyChain generates a single maximal-length chain (width 1) in 2-D
+// — the diagonal — with threshold labels flipped at the given rate.
+// It is the worst case for the paper's literal dense flow network
+// (Θ(n²) dominating pairs, nearly all contending at moderate noise)
+// and the best case for this implementation's sparse one (O(n) edges).
+func NoisyChain(rng *rand.Rand, n int, noise float64) []geom.LabeledPoint {
+	if n < 0 {
+		panic(fmt.Sprintf("dataset: negative size %d", n))
+	}
+	if noise < 0 || noise >= 1 {
+		panic(fmt.Sprintf("dataset: noise %g outside [0,1)", noise))
+	}
+	threshold := n / 2
+	out := make([]geom.LabeledPoint, n)
+	for i := range out {
+		label := geom.Negative
+		if i >= threshold {
+			label = geom.Positive
+		}
+		if rng.Float64() < noise {
+			label ^= 1
+		}
+		out[i] = geom.LabeledPoint{P: geom.Point{float64(i), float64(i)}, Label: label}
+	}
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// AntiDiagonal generates a pure antichain (width n) in 2-D with
+// independent random labels: every point is its own chain, so the
+// active algorithm degenerates to exhaustive probing — the regime
+// Theorem 2's w-dependence predicts no savings for — and every
+// labeling is monotone-consistent (k* = 0).
+func AntiDiagonal(rng *rand.Rand, n int) []geom.LabeledPoint {
+	if n < 0 {
+		panic(fmt.Sprintf("dataset: negative size %d", n))
+	}
+	out := make([]geom.LabeledPoint, n)
+	for i := range out {
+		out[i] = geom.LabeledPoint{
+			P:     geom.Point{float64(i), float64(n - 1 - i)},
+			Label: geom.Label(rng.Intn(2)),
+		}
+	}
+	return out
+}
+
+// LabelInversion generates the all-inverted chain: the bottom half of
+// a single chain labeled positive and the top half negative — the
+// maximum-k* input (k* = n/2: whatever the classifier does, half the
+// chain disagrees). It stresses the g1/g2 estimators in the regime
+// where every threshold's error is near |P|/2 and the α/β band never
+// forms.
+func LabelInversion(n int) []geom.LabeledPoint {
+	if n < 0 {
+		panic(fmt.Sprintf("dataset: negative size %d", n))
+	}
+	out := make([]geom.LabeledPoint, n)
+	for i := range out {
+		label := geom.Positive
+		if i >= n/2 {
+			label = geom.Negative
+		}
+		out[i] = geom.LabeledPoint{P: geom.Point{float64(i), float64(i)}, Label: label}
+	}
+	return out
+}

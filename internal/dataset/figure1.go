@@ -1,0 +1,94 @@
+// Package dataset provides synthetic input generators and fixtures for
+// monotone classification, including an exact realization of the
+// paper's Figure 1 worked example and the workload generators behind
+// experiments E1–E7 (see DESIGN.md).
+package dataset
+
+import "monoclass/internal/geom"
+
+// Figure1 reconstructs the 16-point 2-D input set of Figure 1(a) of
+// the paper. The paper gives the poset structure rather than numeric
+// coordinates; the coordinates below realize every stated fact, all of
+// which are asserted by tests in this package and the experiment
+// harness:
+//
+//   - labels: black (1) = {p1,p4,p9,p10,p12,p13,p14,p16}, the rest white (0);
+//   - the optimal error k* is 3, achieved by mapping all black points
+//     to 1 except p1 and all white points to 0 except p11 and p15;
+//   - the dominance width is 6, witnessed by the antichain
+//     {p10,p11,p12,p13,p14,p16};
+//   - C1={p1,p2,p3,p4,p10}, C2={p11}, C3={p5,p9,p12}, C4={p16},
+//     C5={p13}, C6={p6,p7,p8,p14,p15} is a valid 6-chain decomposition;
+//   - the contending sets of Figure 2(a) are P0^con={p2,p3,p5,p11,p15}
+//     and P1^con={p1,p4,p9,p13,p14};
+//   - with the Figure 1(b) weights, the optimal weighted error is 104
+//     and the optimal classifier maps exactly {p10,p12,p16} to 1.
+//
+// The returned slice is 0-indexed: index i holds the paper's point
+// p_{i+1}.
+func Figure1() []geom.LabeledPoint {
+	const b, w = geom.Positive, geom.Negative
+	return []geom.LabeledPoint{
+		{P: geom.Point{2, 4}, Label: b},   // p1
+		{P: geom.Point{2, 5}, Label: w},   // p2
+		{P: geom.Point{3, 7}, Label: w},   // p3
+		{P: geom.Point{4, 9}, Label: b},   // p4
+		{P: geom.Point{5, 4}, Label: w},   // p5
+		{P: geom.Point{9, 1}, Label: w},   // p6
+		{P: geom.Point{11, 2}, Label: w},  // p7
+		{P: geom.Point{13, 3}, Label: w},  // p8
+		{P: geom.Point{6, 10}, Label: b},  // p9
+		{P: geom.Point{4, 16}, Label: b},  // p10
+		{P: geom.Point{6, 14}, Label: w},  // p11
+		{P: geom.Point{8, 12}, Label: b},  // p12
+		{P: geom.Point{13, 8}, Label: b},  // p13
+		{P: geom.Point{15, 6}, Label: b},  // p14
+		{P: geom.Point{16, 9}, Label: w},  // p15
+		{P: geom.Point{11, 11}, Label: b}, // p16
+	}
+}
+
+// Figure1Weighted applies the Figure 1(b) weights to the Figure 1
+// point set: p1 carries weight 100, p11 and p15 weight 60, and every
+// other point weight 1.
+func Figure1Weighted() geom.WeightedSet {
+	pts := Figure1()
+	ws := make(geom.WeightedSet, len(pts))
+	for i, lp := range pts {
+		w := 1.0
+		switch i {
+		case 0: // p1
+			w = 100
+		case 10, 14: // p11, p15
+			w = 60
+		}
+		ws[i] = geom.WeightedPoint{P: lp.P, Label: lp.Label, Weight: w}
+	}
+	return ws
+}
+
+// Figure1Chains returns the chain decomposition C1..C6 stated in
+// Section 2 of the paper, as 0-based indices in ascending dominance
+// order.
+func Figure1Chains() [][]int {
+	return [][]int{
+		{0, 1, 2, 3, 9},   // C1 = p1 <= p2 <= p3 <= p4 <= p10
+		{10},              // C2 = p11
+		{4, 8, 11},        // C3 = p5 <= p9 <= p12
+		{15},              // C4 = p16
+		{12},              // C5 = p13
+		{5, 6, 7, 13, 14}, // C6 = p6 <= p7 <= p8 <= p14 <= p15
+	}
+}
+
+// Figure1Antichain returns the maximum antichain named in Section 1.2:
+// {p10, p11, p12, p13, p14, p16}, as 0-based indices.
+func Figure1Antichain() []int { return []int{9, 10, 11, 12, 13, 15} }
+
+// Figure1ContendingNegative returns P0^con of Figure 2(a): the
+// contending label-0 points {p2, p3, p5, p11, p15}, as 0-based indices.
+func Figure1ContendingNegative() []int { return []int{1, 2, 4, 10, 14} }
+
+// Figure1ContendingPositive returns P1^con of Figure 2(a): the
+// contending label-1 points {p1, p4, p9, p13, p14}, as 0-based indices.
+func Figure1ContendingPositive() []int { return []int{0, 3, 8, 12, 13} }

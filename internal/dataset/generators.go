@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"monoclass/internal/geom"
+)
+
+// PlantedParams configures Planted.
+type PlantedParams struct {
+	N     int     // number of points
+	D     int     // dimensionality
+	Noise float64 // independent label-flip probability in [0, 1)
+}
+
+// Planted generates n points uniform in [0,1]^d labeled by the
+// monotone ground truth h*(x) = 1 iff Σx[i] > d/2, then flips each
+// label independently with probability Noise. The optimal error k* of
+// the result is therefore ~Noise·n (exactly the number of flips that
+// remain "fixable", computed by the passive solver when needed), and
+// Noise = 0 yields a monotone-consistent set with k* = 0.
+func Planted(rng *rand.Rand, p PlantedParams) []geom.LabeledPoint {
+	if p.N < 0 || p.D <= 0 {
+		panic(fmt.Sprintf("dataset: bad planted params %+v", p))
+	}
+	if p.Noise < 0 || p.Noise >= 1 {
+		panic(fmt.Sprintf("dataset: noise %g outside [0,1)", p.Noise))
+	}
+	out := make([]geom.LabeledPoint, p.N)
+	for i := range out {
+		pt := make(geom.Point, p.D)
+		sum := 0.0
+		for k := range pt {
+			pt[k] = rng.Float64()
+			sum += pt[k]
+		}
+		label := geom.Negative
+		if sum > float64(p.D)/2 {
+			label = geom.Positive
+		}
+		if rng.Float64() < p.Noise {
+			label ^= 1
+		}
+		out[i] = geom.LabeledPoint{P: pt, Label: label}
+	}
+	return out
+}
+
+// WidthParams configures WidthControlled.
+type WidthParams struct {
+	N     int     // total number of points (distributed over chains)
+	W     int     // exact dominance width = number of chains
+	Noise float64 // label-flip probability in [0, 1)
+}
+
+// WidthControlled generates a 2-D set whose dominance width is exactly
+// W. It builds W chains of ~N/W points each; chain c ascends in both
+// coordinates inside the block x ∈ [c·B, c·B+B), y ∈ [(W-1-c)·B, ...),
+// so any two points in different chains are incomparable (larger x
+// always comes with smaller y). Within chain c, labels follow a random
+// threshold position (points above the threshold are positive), then
+// flip with probability Noise.
+//
+// Every point of chain c is incomparable with every point of any other
+// chain, so each chain is a maximal comparable component: the width is
+// exactly W (one point per chain forms an antichain; W chains cover).
+func WidthControlled(rng *rand.Rand, p WidthParams) []geom.LabeledPoint {
+	if p.W <= 0 || p.N < p.W {
+		panic(fmt.Sprintf("dataset: need N >= W >= 1, got N=%d W=%d", p.N, p.W))
+	}
+	if p.Noise < 0 || p.Noise >= 1 {
+		panic(fmt.Sprintf("dataset: noise %g outside [0,1)", p.Noise))
+	}
+	out := make([]geom.LabeledPoint, 0, p.N)
+	base := p.N / p.W
+	extra := p.N % p.W
+	// Block size leaves room for the longest chain's strictly
+	// increasing offsets.
+	block := float64(base + 2)
+	for c := 0; c < p.W; c++ {
+		length := base
+		if c < extra {
+			length++
+		}
+		threshold := rng.Intn(length + 1) // positions >= threshold are positive
+		xBase := float64(c) * block
+		yBase := float64(p.W-1-c) * block
+		off := 0.0
+		for i := 0; i < length; i++ {
+			// Strictly increasing offsets keep the chain strict and
+			// stay inside the block.
+			off += (0.1 + 0.9*rng.Float64()) * (block - off - 1) / float64(length-i+1)
+			pt := geom.Point{xBase + off, yBase + off}
+			label := geom.Negative
+			if i >= threshold {
+				label = geom.Positive
+			}
+			if rng.Float64() < p.Noise {
+				label ^= 1
+			}
+			out = append(out, geom.LabeledPoint{P: pt, Label: label})
+		}
+	}
+	// Shuffle so algorithms cannot exploit generation order.
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Uniform1D generates n 1-D points uniform in [0,1] labeled positive
+// above tau, with independent flip probability noise.
+func Uniform1D(rng *rand.Rand, n int, tau, noise float64) []geom.LabeledPoint {
+	if n < 0 {
+		panic(fmt.Sprintf("dataset: negative size %d", n))
+	}
+	if noise < 0 || noise >= 1 {
+		panic(fmt.Sprintf("dataset: noise %g outside [0,1)", noise))
+	}
+	out := make([]geom.LabeledPoint, n)
+	for i := range out {
+		x := rng.Float64()
+		label := geom.Negative
+		if x > tau {
+			label = geom.Positive
+		}
+		if rng.Float64() < noise {
+			label ^= 1
+		}
+		out[i] = geom.LabeledPoint{P: geom.Point{x}, Label: label}
+	}
+	return out
+}

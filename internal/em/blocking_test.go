@@ -1,0 +1,220 @@
+package em
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBlockPairsBasics(t *testing.T) {
+	recs := []Record{
+		{EntityID: 0, Title: "ultra wireless speaker", Brand: "acme", Price: 10},
+		{EntityID: 0, Title: "ultra wireless speakr", Brand: "acme", Price: 10}, // typo duplicate
+		{EntityID: 1, Title: "carbon steel kettle", Brand: "globex", Price: 40},
+	}
+	pairs, err := BlockPairs(recs, BlockingParams{QGram: 3, UseTokens: true, MinSharedKeys: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDup := false
+	for _, pr := range pairs {
+		if pr.A == 0 && pr.B == 1 {
+			foundDup = true
+			if !pr.Match {
+				t.Error("duplicate pair mislabeled")
+			}
+		}
+		if pr.A >= pr.B {
+			t.Error("pairs must be ordered A < B")
+		}
+	}
+	if !foundDup {
+		t.Error("blocker missed the near-duplicate pair")
+	}
+}
+
+func TestBlockPairsValidation(t *testing.T) {
+	recs := []Record{{Title: "a"}}
+	if _, err := BlockPairs(recs, BlockingParams{QGram: 3, MinSharedKeys: 0}); err == nil {
+		t.Error("MinSharedKeys 0 accepted")
+	}
+	if _, err := BlockPairs(recs, BlockingParams{MinSharedKeys: 1}); err == nil {
+		t.Error("no key sources accepted")
+	}
+}
+
+func TestBlockPairsStopKeySuppression(t *testing.T) {
+	// Every record shares the token "common"; without stop-key
+	// suppression that alone would pair everything.
+	var recs []Record
+	for i := 0; i < 30; i++ {
+		recs = append(recs, Record{
+			EntityID: i,
+			Title:    "common",
+			Brand:    "acme",
+			Price:    1,
+		})
+	}
+	all, err := BlockPairs(recs, BlockingParams{UseTokens: true, MinSharedKeys: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suppressed, err := BlockPairs(recs, BlockingParams{UseTokens: true, MinSharedKeys: 1, MaxKeyFrequency: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 30*29/2 {
+		t.Errorf("unsuppressed candidates = %d, want all pairs", len(all))
+	}
+	if len(suppressed) != 0 {
+		t.Errorf("suppressed candidates = %d, want 0", len(suppressed))
+	}
+}
+
+func TestBlockPairsOnCorpusRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := GenerateCorpus(rng, CorpusParams{
+		Entities:         300,
+		RecordsPerEntity: 2,
+		TitleTokens:      5,
+		TypoRate:         0.15,
+		TokenDropRate:    0.1,
+		PriceJitter:      0.05,
+	})
+	pairs, err := BlockPairs(recs, DefaultBlockingParams(len(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := EvaluateBlocking(recs, pairs)
+	if q.TruePairs != 300 {
+		t.Fatalf("TruePairs = %d, want 300", q.TruePairs)
+	}
+	// Mild perturbations: token/q-gram blocking should catch nearly
+	// every duplicate while proposing far fewer than all O(N²) pairs.
+	if q.Recall < 0.95 {
+		t.Errorf("blocking recall %.3f too low", q.Recall)
+	}
+	allPairs := len(recs) * (len(recs) - 1) / 2
+	if q.Candidates >= allPairs/4 {
+		t.Errorf("blocking kept %d of %d pairs: not selective", q.Candidates, allPairs)
+	}
+}
+
+func TestBlockPairsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recs := GenerateCorpus(rng, DefaultCorpusParams())
+	a, err := BlockPairs(recs, DefaultBlockingParams(len(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BlockPairs(recs, DefaultBlockingParams(len(recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic candidate count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic candidate order")
+		}
+	}
+}
+
+func TestEvaluateBlockingDegenerate(t *testing.T) {
+	q := EvaluateBlocking(nil, nil)
+	if q.Recall != 1 || q.PairRatio != 0 {
+		t.Errorf("degenerate quality wrong: %+v", q)
+	}
+}
+
+func TestJaroSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"a", "", 0},
+		{"same", "same", 1},
+		{"martha", "marhta", 0.9444444444444445},
+		{"dixon", "dicksonx", 0.7666666666666666},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := JaroSim(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("JaroSim(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerSim(t *testing.T) {
+	// The shared prefix "mar" boosts the score above plain Jaro.
+	j := JaroSim("martha", "marhta")
+	jw := JaroWinklerSim("martha", "marhta")
+	if jw <= j {
+		t.Errorf("Jaro-Winkler %v should exceed Jaro %v on shared prefixes", jw, j)
+	}
+	if math.Abs(jw-0.9611111111111111) > 1e-12 {
+		t.Errorf("JaroWinklerSim(martha, marhta) = %v", jw)
+	}
+	if JaroWinklerSim("same", "same") != 1 {
+		t.Error("identical should be 1")
+	}
+}
+
+func TestMongeElkanSim(t *testing.T) {
+	if MongeElkanSim("", "") != 1 {
+		t.Error("empty-empty should be 1")
+	}
+	if MongeElkanSim("a b", "") != 0 {
+		t.Error("empty-vs-nonempty should be 0")
+	}
+	if MongeElkanSim("red speaker", "speaker red") != 1 {
+		t.Error("token order must not matter for exact token sets")
+	}
+	partial := MongeElkanSim("ultra wireless speaker", "ultra wireles speaker")
+	if partial <= 0.9 || partial > 1 {
+		t.Errorf("near-duplicate Monge-Elkan = %v, want just below 1", partial)
+	}
+}
+
+// All new metrics stay within [0, 1] and are symmetric.
+func TestNewMetricsRangeAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"", "a", "ab", "alpha beta", "gamma delta epsilon", "x"}
+	for trial := 0; trial < 2000; trial++ {
+		a := words[rng.Intn(len(words))]
+		b := words[rng.Intn(len(words))]
+		for name, f := range map[string]func(string, string) float64{
+			"jaro": JaroSim, "jw": JaroWinklerSim, "me": MongeElkanSim,
+		} {
+			s1, s2 := f(a, b), f(b, a)
+			if s1 < 0 || s1 > 1 || math.IsNaN(s1) {
+				t.Fatalf("%s(%q,%q) = %v out of range", name, a, b, s1)
+			}
+			if math.Abs(s1-s2) > 1e-12 {
+				t.Fatalf("%s not symmetric on (%q,%q): %v vs %v", name, a, b, s1, s2)
+			}
+		}
+	}
+}
+
+func TestExtendedSimilarities(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	recs := GenerateCorpus(rng, DefaultCorpusParams())
+	v := ExtendedSimilarities(recs[0], recs[1])
+	if len(v) != 6 {
+		t.Fatalf("dim = %d, want 6", len(v))
+	}
+	for i, s := range v {
+		if s < 0 || s > 1 {
+			t.Errorf("score %d = %v out of range", i, s)
+		}
+	}
+	self := ExtendedSimilarities(recs[0], recs[0])
+	for i, s := range self {
+		if s != 1 {
+			t.Errorf("self-similarity %d = %v, want 1", i, s)
+		}
+	}
+}

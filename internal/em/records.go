@@ -1,0 +1,236 @@
+package em
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"monoclass/internal/geom"
+)
+
+// Record is a product-style record: the unit of matching.
+type Record struct {
+	EntityID int     // ground-truth entity; hidden from learners
+	Title    string  // product title (token sequence)
+	Brand    string  // brand token
+	Price    float64 // numeric attribute
+}
+
+// CorpusParams configures GenerateCorpus.
+type CorpusParams struct {
+	Entities         int     // number of distinct entities
+	RecordsPerEntity int     // duplicates per entity (>= 1)
+	TitleTokens      int     // tokens per clean title
+	TypoRate         float64 // per-token corruption probability
+	TokenDropRate    float64 // per-token drop probability
+	PriceJitter      float64 // relative price perturbation amplitude
+}
+
+// DefaultCorpusParams returns a moderately noisy configuration.
+func DefaultCorpusParams() CorpusParams {
+	return CorpusParams{
+		Entities:         100,
+		RecordsPerEntity: 2,
+		TitleTokens:      6,
+		TypoRate:         0.15,
+		TokenDropRate:    0.1,
+		PriceJitter:      0.05,
+	}
+}
+
+var (
+	vocabulary = []string{
+		"ultra", "pro", "max", "mini", "classic", "wireless", "portable",
+		"steel", "carbon", "nylon", "leather", "black", "silver", "red",
+		"camera", "speaker", "keyboard", "monitor", "charger", "router",
+		"bottle", "backpack", "lamp", "blender", "kettle", "drill",
+		"series", "edition", "model", "bundle", "pack", "kit",
+	}
+	brands = []string{
+		"acme", "globex", "initech", "umbrella", "stark", "wayne",
+		"wonka", "tyrell", "hooli", "aperture",
+	}
+	typoAlphabet = "abcdefghijklmnopqrstuvwxyz"
+)
+
+// GenerateCorpus produces Entities·RecordsPerEntity records: each
+// entity gets one clean prototype and noisy duplicates derived from it
+// by token drops, typos, and price jitter.
+func GenerateCorpus(rng *rand.Rand, p CorpusParams) []Record {
+	if p.Entities <= 0 || p.RecordsPerEntity <= 0 || p.TitleTokens <= 0 {
+		panic(fmt.Sprintf("em: bad corpus params %+v", p))
+	}
+	var out []Record
+	for e := 0; e < p.Entities; e++ {
+		tokens := make([]string, p.TitleTokens, p.TitleTokens+1)
+		for i := range tokens {
+			tokens[i] = vocabulary[rng.Intn(len(vocabulary))]
+		}
+		// Every entity carries a distinctive alphanumeric model code,
+		// as real product listings do ("kettle pro x0042"); it is the
+		// high-selectivity token realistic blocking keys come from,
+		// and it is perturbed like any other token in duplicates.
+		tokens = append(tokens, fmt.Sprintf("%c%04d", 'a'+rune(e%26), e))
+		brand := brands[rng.Intn(len(brands))]
+		price := 10 + rng.Float64()*490
+		for r := 0; r < p.RecordsPerEntity; r++ {
+			rec := Record{
+				EntityID: e,
+				Title:    strings.Join(tokens, " "),
+				Brand:    brand,
+				Price:    price,
+			}
+			if r > 0 { // keep one clean prototype per entity
+				rec = perturb(rng, rec, p)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// perturb derives a noisy duplicate of a record.
+func perturb(rng *rand.Rand, rec Record, p CorpusParams) Record {
+	tokens := strings.Fields(rec.Title)
+	var kept []string
+	for _, tok := range tokens {
+		if len(tokens) > 1 && rng.Float64() < p.TokenDropRate {
+			continue
+		}
+		if rng.Float64() < p.TypoRate {
+			tok = typo(rng, tok)
+		}
+		kept = append(kept, tok)
+	}
+	if len(kept) == 0 {
+		kept = tokens[:1]
+	}
+	out := rec
+	out.Title = strings.Join(kept, " ")
+	out.Price = rec.Price * (1 + (rng.Float64()*2-1)*p.PriceJitter)
+	return out
+}
+
+// typo applies one random character edit to a token.
+func typo(rng *rand.Rand, tok string) string {
+	runes := []rune(tok)
+	if len(runes) == 0 {
+		return tok
+	}
+	pos := rng.Intn(len(runes))
+	c := rune(typoAlphabet[rng.Intn(len(typoAlphabet))])
+	switch rng.Intn(3) {
+	case 0: // substitute
+		runes[pos] = c
+		return string(runes)
+	case 1: // insert
+		return string(runes[:pos]) + string(c) + string(runes[pos:])
+	default: // delete
+		if len(runes) == 1 {
+			return string(c)
+		}
+		return string(runes[:pos]) + string(runes[pos+1:])
+	}
+}
+
+// Pair is a candidate record pair with its ground-truth match label.
+type Pair struct {
+	A, B  int // record indices
+	Match bool
+}
+
+// PairParams configures SamplePairs.
+type PairParams struct {
+	MatchPairs    int // matching pairs to emit (same entity)
+	NonMatchPairs int // non-matching pairs to emit
+}
+
+// SamplePairs draws labeled candidate pairs from the corpus: matches
+// are two distinct records of one entity; non-matches two records of
+// different entities. It panics when the corpus cannot supply matches
+// (fewer than two records of any entity) and MatchPairs > 0.
+func SamplePairs(rng *rand.Rand, recs []Record, p PairParams) []Pair {
+	byEntity := make(map[int][]int)
+	for i, r := range recs {
+		byEntity[r.EntityID] = append(byEntity[r.EntityID], i)
+	}
+	var multi []int
+	for e, members := range byEntity {
+		if len(members) >= 2 {
+			multi = append(multi, e)
+		}
+	}
+	if p.MatchPairs > 0 && len(multi) == 0 {
+		panic("em: no entity has two records; cannot sample match pairs")
+	}
+	if p.NonMatchPairs > 0 && len(byEntity) < 2 {
+		panic("em: need at least two entities for non-match pairs")
+	}
+	// Deterministic entity order for reproducibility (map iteration is
+	// randomized).
+	sortInts(multi)
+	entityIDs := make([]int, 0, len(byEntity))
+	for e := range byEntity {
+		entityIDs = append(entityIDs, e)
+	}
+	sortInts(entityIDs)
+
+	var out []Pair
+	for k := 0; k < p.MatchPairs; k++ {
+		e := multi[rng.Intn(len(multi))]
+		members := byEntity[e]
+		i := rng.Intn(len(members))
+		j := rng.Intn(len(members) - 1)
+		if j >= i {
+			j++
+		}
+		out = append(out, Pair{A: members[i], B: members[j], Match: true})
+	}
+	for k := 0; k < p.NonMatchPairs; k++ {
+		e1 := entityIDs[rng.Intn(len(entityIDs))]
+		e2 := e1
+		for e2 == e1 {
+			e2 = entityIDs[rng.Intn(len(entityIDs))]
+		}
+		m1 := byEntity[e1]
+		m2 := byEntity[e2]
+		out = append(out, Pair{A: m1[rng.Intn(len(m1))], B: m2[rng.Intn(len(m2))], Match: false})
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Similarities computes the d = 4 similarity scores of a record pair:
+// 3-gram Jaccard of titles, normalized Levenshtein of titles, token
+// cosine of titles plus brands, and numeric price similarity. Every
+// score is in [0, 1] and higher means more similar, as the monotone
+// model requires.
+func Similarities(a, b Record) geom.Point {
+	return geom.Point{
+		JaccardQGramSim(a.Title, b.Title, 3),
+		LevenshteinSim(a.Title, b.Title),
+		TokenCosineSim(a.Title+" "+a.Brand, b.Title+" "+b.Brand),
+		NumericSim(a.Price, b.Price),
+	}
+}
+
+// ToPoints maps pairs to the labeled similarity points of Section 1.1:
+// P = { p_{x,y} | (x,y) ∈ S }, label 1 for matches.
+func ToPoints(recs []Record, pairs []Pair) []geom.LabeledPoint {
+	out := make([]geom.LabeledPoint, len(pairs))
+	for i, pr := range pairs {
+		label := geom.Negative
+		if pr.Match {
+			label = geom.Positive
+		}
+		out[i] = geom.LabeledPoint{P: Similarities(recs[pr.A], recs[pr.B]), Label: label}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package em
+
+import (
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+func TestGenerateCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := DefaultCorpusParams()
+	recs := GenerateCorpus(rng, p)
+	if len(recs) != p.Entities*p.RecordsPerEntity {
+		t.Fatalf("len = %d, want %d", len(recs), p.Entities*p.RecordsPerEntity)
+	}
+	perEntity := map[int]int{}
+	for _, r := range recs {
+		perEntity[r.EntityID]++
+		if r.Title == "" || r.Brand == "" || r.Price <= 0 {
+			t.Fatalf("degenerate record %+v", r)
+		}
+	}
+	for e, c := range perEntity {
+		if c != p.RecordsPerEntity {
+			t.Errorf("entity %d has %d records", e, c)
+		}
+	}
+}
+
+func TestGenerateCorpusPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i, p := range []CorpusParams{
+		{Entities: 0, RecordsPerEntity: 1, TitleTokens: 1},
+		{Entities: 1, RecordsPerEntity: 0, TitleTokens: 1},
+		{Entities: 1, RecordsPerEntity: 1, TitleTokens: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			GenerateCorpus(rng, p)
+		}()
+	}
+}
+
+func TestSamplePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recs := GenerateCorpus(rng, DefaultCorpusParams())
+	pairs := SamplePairs(rng, recs, PairParams{MatchPairs: 40, NonMatchPairs: 60})
+	if len(pairs) != 100 {
+		t.Fatalf("len = %d, want 100", len(pairs))
+	}
+	matches := 0
+	for _, pr := range pairs {
+		if pr.A == pr.B {
+			t.Fatal("self-pair emitted")
+		}
+		same := recs[pr.A].EntityID == recs[pr.B].EntityID
+		if same != pr.Match {
+			t.Fatalf("pair label %v but entities same=%v", pr.Match, same)
+		}
+		if pr.Match {
+			matches++
+		}
+	}
+	if matches != 40 {
+		t.Errorf("matches = %d, want 40", matches)
+	}
+}
+
+func TestSamplePairsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Single-record entities cannot supply matches.
+	solo := GenerateCorpus(rng, CorpusParams{Entities: 5, RecordsPerEntity: 1, TitleTokens: 3})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for match pairs without duplicates")
+			}
+		}()
+		SamplePairs(rng, solo, PairParams{MatchPairs: 1})
+	}()
+	// One entity cannot supply non-matches.
+	one := GenerateCorpus(rng, CorpusParams{Entities: 1, RecordsPerEntity: 2, TitleTokens: 3})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for non-match pairs with one entity")
+			}
+		}()
+		SamplePairs(rng, one, PairParams{NonMatchPairs: 1})
+	}()
+}
+
+func TestSimilaritiesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	recs := GenerateCorpus(rng, DefaultCorpusParams())
+	p := Similarities(recs[0], recs[1])
+	if len(p) != 4 {
+		t.Fatalf("dim = %d, want 4", len(p))
+	}
+	for i, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("score %d = %g outside [0,1]", i, v)
+		}
+	}
+	// A record is maximally similar to itself.
+	self := Similarities(recs[0], recs[0])
+	for i, v := range self {
+		if v != 1 {
+			t.Errorf("self-similarity %d = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestToPointsSeparation(t *testing.T) {
+	// Matching pairs must on average score higher than non-matching
+	// pairs on every similarity dimension — the premise that makes the
+	// monotone model sensible.
+	rng := rand.New(rand.NewSource(5))
+	recs := GenerateCorpus(rng, DefaultCorpusParams())
+	pairs := SamplePairs(rng, recs, PairParams{MatchPairs: 200, NonMatchPairs: 200})
+	pts := ToPoints(recs, pairs)
+	if len(pts) != 400 {
+		t.Fatal("wrong size")
+	}
+	var sumMatch, sumNon [4]float64
+	var nMatch, nNon int
+	for _, lp := range pts {
+		if lp.Label == geom.Positive {
+			nMatch++
+			for k, v := range lp.P {
+				sumMatch[k] += v
+			}
+		} else {
+			nNon++
+			for k, v := range lp.P {
+				sumNon[k] += v
+			}
+		}
+	}
+	for k := 0; k < 4; k++ {
+		mMean := sumMatch[k] / float64(nMatch)
+		nMean := sumNon[k] / float64(nNon)
+		if mMean <= nMean {
+			t.Errorf("dimension %d: match mean %g <= non-match mean %g", k, mMean, nMean)
+		}
+	}
+}

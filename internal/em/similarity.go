@@ -1,0 +1,172 @@
+// Package em provides an entity-matching substrate: synthetic records
+// with noisy duplicates, real string-similarity metrics, and the
+// pair-to-point pipeline of Section 1.1 of the paper
+// (p_{x,y} = (sim_1(x,y), ..., sim_d(x,y)), label 1 iff x and y refer
+// to the same entity). Real entity-matching corpora are proprietary;
+// this simulation exercises the same code path — similarity-score
+// points whose labels are only approximately monotone — with
+// controllable difficulty (see DESIGN.md §2.3).
+package em
+
+import (
+	"math"
+	"strings"
+)
+
+// Levenshtein computes the edit distance between a and b with the
+// classic O(|a|·|b|) dynamic program (unit insert/delete/substitute
+// costs).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSim converts edit distance to a similarity in [0, 1]:
+// 1 - dist/max(|a|, |b|); two empty strings are fully similar.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(longest)
+}
+
+// QGrams returns the multiset of q-grams of s as a count map. Strings
+// shorter than q yield the whole string as a single gram.
+func QGrams(s string, q int) map[string]int {
+	if q <= 0 {
+		panic("em: q must be positive")
+	}
+	grams := make(map[string]int)
+	runes := []rune(s)
+	if len(runes) < q {
+		if len(runes) > 0 {
+			grams[string(runes)]++
+		}
+		return grams
+	}
+	for i := 0; i+q <= len(runes); i++ {
+		grams[string(runes[i:i+q])]++
+	}
+	return grams
+}
+
+// JaccardQGramSim is the Jaccard similarity of the q-gram multisets of
+// a and b: Σ min(countA, countB) / Σ max(countA, countB). Two empty
+// strings are fully similar.
+func JaccardQGramSim(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	inter, union := 0, 0
+	for g, ca := range ga {
+		cb := gb[g]
+		if cb < ca {
+			inter += cb
+			union += ca
+		} else {
+			inter += ca
+			union += cb
+		}
+	}
+	for g, cb := range gb {
+		if _, ok := ga[g]; !ok {
+			union += cb
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// TokenCosineSim is the cosine similarity of the whitespace-token
+// count vectors of a and b. Two token-less strings are fully similar.
+func TokenCosineSim(a, b string) float64 {
+	ta := tokenCounts(a)
+	tb := tokenCounts(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	var dot, na, nb float64
+	for tok, ca := range ta {
+		na += float64(ca) * float64(ca)
+		if cb, ok := tb[tok]; ok {
+			dot += float64(ca) * float64(cb)
+		}
+	}
+	for _, cb := range tb {
+		nb += float64(cb) * float64(cb)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	s := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if s > 1-1e-9 { // snap float rounding on either side of 1
+		return 1
+	}
+	return s
+}
+
+func tokenCounts(s string) map[string]int {
+	out := make(map[string]int)
+	for _, tok := range strings.Fields(s) {
+		out[strings.ToLower(tok)]++
+	}
+	return out
+}
+
+// NumericSim maps two non-negative numbers to a similarity in [0, 1]:
+// 1 - |a-b| / (|a| + |b|), with equal values (including both zero)
+// fully similar.
+func NumericSim(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	den := math.Abs(a) + math.Abs(b)
+	if den == 0 {
+		return 1
+	}
+	s := 1 - math.Abs(a-b)/den
+	if s < 0 {
+		return 0
+	}
+	return s
+}

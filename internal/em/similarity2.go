@@ -1,0 +1,135 @@
+package em
+
+import (
+	"strings"
+)
+
+// Additional string similarity metrics: Jaro, Jaro–Winkler and
+// Monge–Elkan, the other standard members of the record-linkage
+// toolbox. All return values in [0, 1], higher = more similar, so any
+// of them can serve as a monotone-classification dimension.
+
+// JaroSim computes the Jaro similarity of a and b: the classic
+// matching-window metric (matches within half the longer length,
+// transposition-discounted). Two empty strings are fully similar.
+func JaroSim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if !matchedB[j] && ra[i] == rb[j] {
+				matchedA[i] = true
+				matchedB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Transpositions: matched characters out of order.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinklerSim boosts Jaro similarity by the length of the common
+// prefix (up to 4 runes) with the standard scaling factor 0.1.
+func JaroWinklerSim(a, b string) float64 {
+	j := JaroSim(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	s := j + float64(prefix)*0.1*(1-j)
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// MongeElkanSim is the token-level hybrid metric: for each token of a,
+// the best inner similarity against b's tokens, averaged; symmetrized
+// by taking the mean of both directions. The inner metric is
+// Jaro–Winkler. Token-less strings are fully similar to each other and
+// fully dissimilar to non-empty ones.
+func MongeElkanSim(a, b string) float64 {
+	ta := strings.Fields(strings.ToLower(a))
+	tb := strings.Fields(strings.ToLower(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return (mongeElkanDirected(ta, tb) + mongeElkanDirected(tb, ta)) / 2
+}
+
+func mongeElkanDirected(ta, tb []string) float64 {
+	var sum float64
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := JaroWinklerSim(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// ExtendedSimilarities computes a 6-dimensional similarity vector for
+// a record pair: the 4 metrics of Similarities plus Jaro–Winkler and
+// Monge–Elkan on the titles.
+func ExtendedSimilarities(a, b Record) []float64 {
+	base := Similarities(a, b)
+	out := make([]float64, 0, 6)
+	out = append(out, base...)
+	out = append(out, JaroWinklerSim(a.Title, b.Title), MongeElkanSim(a.Title, b.Title))
+	return out
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

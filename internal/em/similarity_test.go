@@ -1,0 +1,170 @@
+package em
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"a", "b", 1},
+		{"héllo", "hello", 1}, // unicode-aware
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Edit distance is a metric: symmetric and triangle inequality.
+func TestLevenshteinMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randStr := func() string {
+		n := rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(4))
+		}
+		return string(b)
+	}
+	sym := func() bool {
+		a, b := randStr(), randStr()
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	tri := func() bool {
+		a, b, c := randStr(), randStr(), randStr()
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	identity := func() bool {
+		a := randStr()
+		return Levenshtein(a, a) == 0
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	for name, f := range map[string]func() bool{"symmetry": sym, "triangle": tri, "identity": identity} {
+		if err := quick.Check(func() bool { return f() }, cfg); err != nil {
+			t.Errorf("%s violated: %v", name, err)
+		}
+	}
+}
+
+func TestLevenshteinSim(t *testing.T) {
+	if got := LevenshteinSim("", ""); got != 1 {
+		t.Errorf("empty strings sim = %g, want 1", got)
+	}
+	if got := LevenshteinSim("abcd", "abcd"); got != 1 {
+		t.Errorf("identical sim = %g, want 1", got)
+	}
+	if got := LevenshteinSim("abcd", "wxyz"); got != 0 {
+		t.Errorf("disjoint sim = %g, want 0", got)
+	}
+	if got := LevenshteinSim("abcd", "abce"); got != 0.75 {
+		t.Errorf("sim = %g, want 0.75", got)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	g := QGrams("banana", 2)
+	if g["an"] != 2 || g["na"] != 2 || g["ba"] != 1 {
+		t.Errorf("bigram counts wrong: %v", g)
+	}
+	short := QGrams("ab", 3)
+	if short["ab"] != 1 || len(short) != 1 {
+		t.Errorf("short-string grams wrong: %v", short)
+	}
+	if len(QGrams("", 2)) != 0 {
+		t.Error("empty string should have no grams")
+	}
+}
+
+func TestQGramsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QGrams("abc", 0)
+}
+
+func TestJaccardQGramSim(t *testing.T) {
+	if got := JaccardQGramSim("", "", 3); got != 1 {
+		t.Errorf("empty sim = %g, want 1", got)
+	}
+	if got := JaccardQGramSim("hello", "hello", 3); got != 1 {
+		t.Errorf("identical sim = %g, want 1", got)
+	}
+	if got := JaccardQGramSim("aaaa", "zzzz", 2); got != 0 {
+		t.Errorf("disjoint sim = %g, want 0", got)
+	}
+	got := JaccardQGramSim("night", "nacht", 2)
+	if got <= 0 || got >= 1 {
+		t.Errorf("partial sim = %g, want in (0,1)", got)
+	}
+}
+
+func TestTokenCosineSim(t *testing.T) {
+	if got := TokenCosineSim("", ""); got != 1 {
+		t.Errorf("empty sim = %g, want 1", got)
+	}
+	if got := TokenCosineSim("red blue", "Red Blue"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("case-insensitive identical sim = %g, want 1", got)
+	}
+	if got := TokenCosineSim("red blue", "green yellow"); got != 0 {
+		t.Errorf("disjoint sim = %g, want 0", got)
+	}
+	if got := TokenCosineSim("red blue", ""); got != 0 {
+		t.Errorf("one-empty sim = %g, want 0", got)
+	}
+	got := TokenCosineSim("red blue", "red green")
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half-overlap sim = %g, want 0.5", got)
+	}
+}
+
+func TestNumericSim(t *testing.T) {
+	if NumericSim(5, 5) != 1 || NumericSim(0, 0) != 1 {
+		t.Error("equal values should be fully similar")
+	}
+	if got := NumericSim(0, 10); got != 0 {
+		t.Errorf("sim(0,10) = %g, want 0", got)
+	}
+	if got := NumericSim(10, 30); got != 0.5 {
+		t.Errorf("sim(10,30) = %g, want 0.5", got)
+	}
+}
+
+// All similarities must land in [0, 1] on arbitrary inputs.
+func TestSimilaritiesRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	words := []string{"", "a", "ab", "alpha beta", "gamma", "x y z"}
+	f := func() bool {
+		a := words[rng.Intn(len(words))]
+		b := words[rng.Intn(len(words))]
+		va, vb := rng.Float64()*100, rng.Float64()*100
+		for _, s := range []float64{
+			LevenshteinSim(a, b),
+			JaccardQGramSim(a, b, 3),
+			TokenCosineSim(a, b),
+			NumericSim(va, vb),
+		} {
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package experiments implements the reproduction harness: one driver
+// per experiment in DESIGN.md §2.2 (E1–E10) plus the two worked-figure
+// checks (F1, F2). Each driver generates its workload, runs the
+// algorithms under test, and returns a Table whose rows are the series
+// the paper's claims predict. cmd/benchtab prints the tables;
+// bench_test.go wraps the drivers as Go benchmarks; EXPERIMENTS.md
+// records claimed-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical tables.
+	Seed int64
+	// Quick shrinks input sizes and trial counts so the whole suite
+	// runs in seconds (used by tests and benchmark iterations); the
+	// full-scale run is the default for cmd/benchtab.
+	Quick bool
+}
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string   // experiment id, e.g. "E1"
+	Title   string   // human-readable description
+	Columns []string // column headers
+	Rows    [][]string
+	Notes   []string // claim statements, fitted exponents, caveats
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is an experiment driver.
+type Runner func(Config) Table
+
+// registry maps experiment ids to drivers.
+var registry = map[string]Runner{
+	"E1":  ProbingVsN,
+	"E2":  ProbingVsWidth,
+	"E3":  ProbingVsEpsilon,
+	"E4":  ApproximationQuality,
+	"E5":  PassiveRuntime,
+	"E6":  LowerBoundTradeoff,
+	"E7":  BaselineComparison,
+	"E8":  ChainDecomposition,
+	"E9":  MaxflowSolvers,
+	"E10": EndToEndPhases,
+	"E11": QuantizationTradeoff,
+	"E12": OracleNoiseRobustness,
+	"E13": RBSExpectation,
+	"F1":  Figure1Check,
+	"F2":  Figure2Check,
+	"A1":  ChainAblation,
+}
+
+// IDs returns all experiment identifiers in run order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	rank := func(id string) int {
+		switch id[0] {
+		case 'F': // figure checks first
+			return 0
+		case 'E': // theorem experiments next
+			return 1
+		default: // ablations last
+			return 2
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if ra, rb := rank(ids[a]), rank(ids[b]); ra != rb {
+			return ra < rb
+		}
+		var na, nb int
+		fmt.Sscanf(ids[a][1:], "%d", &na)
+		fmt.Sscanf(ids[b][1:], "%d", &nb)
+		return na < nb
+	})
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Table{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(cfg), nil
+}
+
+// All executes every experiment in order.
+func All(cfg Config) []Table {
+	var out []Table
+	for _, id := range IDs() {
+		t, _ := Run(id, cfg)
+		out = append(out, t)
+	}
+	return out
+}
+
+// fmtInt renders an integer column value.
+func fmtInt(v int) string { return fmt.Sprintf("%d", v) }
+
+// fmtF renders a float column value with sensible precision.
+func fmtF(v float64) string { return fmt.Sprintf("%.3g", v) }

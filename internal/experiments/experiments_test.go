@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg runs every driver at reduced scale.
+var quickCfg = Config{Seed: 1, Quick: true}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	want := []string{"F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99", quickCfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tab := Table{
+		ID:      "X",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"note"},
+	}
+	md := tab.Markdown()
+	for _, frag := range []string{"### X — demo", "| a | b |", "| 1 | 2 |", "> note"} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, md)
+		}
+	}
+}
+
+// Each figure check must report an all-"yes" match column: these are
+// the paper's exact worked-example values.
+func TestFigureChecksAllMatch(t *testing.T) {
+	for _, id := range []string{"F1", "F2"} {
+		tab, err := Run(id, quickCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if row[len(row)-1] != "yes" {
+				t.Errorf("%s: row %v does not match the paper", id, row)
+			}
+		}
+	}
+}
+
+// E6's measured game must match the closed form on every row.
+func TestLowerBoundRowsMatchPrediction(t *testing.T) {
+	tab := LowerBoundTradeoff(quickCfg)
+	for _, row := range tab.Rows {
+		if strings.Contains(row[3], "MISMATCH") {
+			t.Errorf("row %v: measured cost disagrees with Lemma 19's closed form", row)
+		}
+	}
+}
+
+// Every driver must run to completion at quick scale and produce a
+// non-empty, well-formed table.
+func TestAllDriversQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, tab := range All(quickCfg) {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s: row width %d != %d columns", tab.ID, len(row), len(tab.Columns))
+			}
+		}
+		if tab.Markdown() == "" {
+			t.Errorf("%s: empty markdown", tab.ID)
+		}
+	}
+}
+
+// E9's solver-agreement column must never report a mismatch.
+func TestMaxflowSolversAgreeColumn(t *testing.T) {
+	tab := MaxflowSolvers(quickCfg)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("solver disagreement: %v", row)
+		}
+	}
+}
+
+// E5's agreement column must be yes wherever the naive solver ran.
+func TestPassiveRuntimeAgreement(t *testing.T) {
+	tab := PassiveRuntime(quickCfg)
+	for _, row := range tab.Rows {
+		if agree := row[len(row)-1]; agree != "-" && agree != "yes" {
+			t.Errorf("solver disagreement: %v", row)
+		}
+	}
+}
+
+// Determinism: the same seed must reproduce the same table.
+func TestDeterministicTables(t *testing.T) {
+	a := LowerBoundTradeoff(quickCfg)
+	b := LowerBoundTradeoff(quickCfg)
+	if a.Markdown() != b.Markdown() {
+		t.Error("same-seed tables differ")
+	}
+}

@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want bool
+	}{
+		{Point{1, 2}, Point{1, 2}, true},  // reflexive
+		{Point{2, 3}, Point{1, 2}, true},  // strict on both dims
+		{Point{2, 2}, Point{1, 2}, true},  // strict on one dim
+		{Point{1, 3}, Point{2, 2}, false}, // incomparable
+		{Point{0, 0}, Point{1, 1}, false}, // dominated instead
+		{Point{5}, Point{4}, true},        // 1-D
+		{Point{4}, Point{5}, false},       // 1-D reversed
+		{Point{1, 1, 1}, Point{1, 1, 0}, true},
+		{Point{1, 1, -1}, Point{1, 1, 0}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.p, c.q); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDominatesDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dominates(Point{1, 2}, Point{1})
+}
+
+func TestStrictlyDominates(t *testing.T) {
+	if StrictlyDominates(Point{1, 2}, Point{1, 2}) {
+		t.Error("a point must not strictly dominate itself")
+	}
+	if !StrictlyDominates(Point{2, 2}, Point{1, 2}) {
+		t.Error("(2,2) should strictly dominate (1,2)")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	if !Comparable(Point{1, 2}, Point{3, 4}) {
+		t.Error("(1,2) and (3,4) are comparable")
+	}
+	if Comparable(Point{1, 3}, Point{3, 1}) {
+		t.Error("(1,3) and (3,1) are incomparable")
+	}
+}
+
+// Dominance must be a partial order: reflexive, antisymmetric (up to
+// coordinate equality), and transitive. We verify transitivity and
+// antisymmetry with testing/quick over random triples.
+func TestDominancePartialOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randPoint := func() Point {
+		p := make(Point, 3)
+		for i := range p {
+			p[i] = float64(rng.Intn(5)) // small grid to force relations
+		}
+		return p
+	}
+	transitive := func() bool {
+		a, b, c := randPoint(), randPoint(), randPoint()
+		if Dominates(a, b) && Dominates(b, c) {
+			return Dominates(a, c)
+		}
+		return true
+	}
+	antisymmetric := func() bool {
+		a, b := randPoint(), randPoint()
+		if Dominates(a, b) && Dominates(b, a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(func() bool { return transitive() }, cfg); err != nil {
+		t.Errorf("transitivity violated: %v", err)
+	}
+	if err := quick.Check(func() bool { return antisymmetric() }, cfg); err != nil {
+		t.Errorf("antisymmetry violated: %v", err)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if Negative.String() != "0" || Positive.String() != "1" {
+		t.Error("label strings wrong")
+	}
+	if !Negative.Valid() || !Positive.Valid() || Label(2).Valid() {
+		t.Error("label validity wrong")
+	}
+}
+
+func TestPointCloneEqualString(t *testing.T) {
+	p := Point{1.5, -2}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = 9
+	if p[0] == 9 {
+		t.Fatal("clone aliases original")
+	}
+	if got, want := p.String(), "(1.5, -2)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if p.Equal(Point{1.5}) {
+		t.Error("points of different dims must not be equal")
+	}
+	if p.Dim() != 2 {
+		t.Error("Dim wrong")
+	}
+}
+
+func TestWeightedPointValidate(t *testing.T) {
+	good := WeightedPoint{P: Point{1}, Label: Positive, Weight: 2.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid point rejected: %v", err)
+	}
+	bad := []WeightedPoint{
+		{P: Point{1}, Label: Positive, Weight: 0},
+		{P: Point{1}, Label: Positive, Weight: -1},
+		{P: Point{1}, Label: Label(3), Weight: 1},
+	}
+	for i, wp := range bad {
+		if err := wp.Validate(); err == nil {
+			t.Errorf("case %d: invalid point accepted", i)
+		}
+	}
+}

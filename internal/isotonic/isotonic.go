@@ -1,0 +1,190 @@
+// Package isotonic implements weighted isotonic regression by the
+// pool-adjacent-violators algorithm (PAVA), under squared (L2) and
+// absolute (L1) loss.
+//
+// It is the bridge between this library and the mainstream
+// "monotone/isotonic classifier" toolbox (e.g. scikit-learn's
+// IsotonicRegression): one-dimensional monotone classification with
+// 0/1 labels is exactly L1 isotonic regression restricted to binary
+// fitted values, so FitL1's total loss on binary data must equal the
+// optimal threshold error of classifier.BestThreshold1D — a
+// cross-validation the tests perform. Beyond validation, the fits are
+// useful in their own right for calibrating continuous match scores
+// monotonically.
+package isotonic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is one observation: position X, response Y, positive weight W.
+type Point struct {
+	X, Y, W float64
+}
+
+// validate checks the input and returns it sorted by X (stable for
+// ties, which PAVA handles as adjacent observations).
+func validate(pts []Point) ([]Point, error) {
+	for i, p := range pts {
+		if p.W <= 0 {
+			return nil, fmt.Errorf("isotonic: weight %g at %d must be positive", p.W, i)
+		}
+	}
+	out := append([]Point(nil), pts...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].X < out[b].X })
+	return out, nil
+}
+
+// FitL2 computes the non-decreasing fit minimizing Σ w·(f - y)²,
+// returning fitted values aligned with pts sorted by X (the returned
+// xs give the sorted positions). Classic mean-pooling PAVA, O(n) after
+// sorting.
+func FitL2(pts []Point) (xs, fitted []float64, err error) {
+	sorted, err := validate(pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(sorted)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	type block struct {
+		sumWY, sumW float64
+		count       int
+	}
+	blocks := make([]block, 0, n)
+	for _, p := range sorted {
+		blocks = append(blocks, block{sumWY: p.W * p.Y, sumW: p.W, count: 1})
+		// Pool while the last block's mean undercuts its predecessor.
+		for len(blocks) >= 2 {
+			last := blocks[len(blocks)-1]
+			prev := blocks[len(blocks)-2]
+			if prev.sumWY/prev.sumW <= last.sumWY/last.sumW {
+				break
+			}
+			merged := block{
+				sumWY: prev.sumWY + last.sumWY,
+				sumW:  prev.sumW + last.sumW,
+				count: prev.count + last.count,
+			}
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, merged)
+		}
+	}
+	xs = make([]float64, n)
+	fitted = make([]float64, n)
+	i := 0
+	for _, b := range blocks {
+		mean := b.sumWY / b.sumW
+		for k := 0; k < b.count; k++ {
+			xs[i] = sorted[i].X
+			fitted[i] = mean
+			i++
+		}
+	}
+	return xs, fitted, nil
+}
+
+// FitL1 computes a non-decreasing fit minimizing Σ w·|f - y|,
+// returning fitted values aligned with pts sorted by X. PAVA with
+// weighted-median pooling (lower medians, so results are
+// deterministic); block merges recompute medians from the pooled
+// members, O(n² log n) worst case — isotonic fits here back
+// validation and calibration, not hot paths.
+func FitL1(pts []Point) (xs, fitted []float64, err error) {
+	sorted, err := validate(pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(sorted)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	type block struct {
+		members []Point
+		median  float64
+	}
+	blocks := make([]block, 0, n)
+	for _, p := range sorted {
+		blocks = append(blocks, block{members: []Point{p}, median: p.Y})
+		for len(blocks) >= 2 {
+			last := blocks[len(blocks)-1]
+			prev := blocks[len(blocks)-2]
+			if prev.median <= last.median {
+				break
+			}
+			merged := block{members: append(append([]Point(nil), prev.members...), last.members...)}
+			merged.median = weightedLowerMedian(merged.members)
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, merged)
+		}
+	}
+	xs = make([]float64, n)
+	fitted = make([]float64, n)
+	i := 0
+	for _, b := range blocks {
+		for range b.members {
+			xs[i] = sorted[i].X
+			fitted[i] = b.median
+			i++
+		}
+	}
+	return xs, fitted, nil
+}
+
+// weightedLowerMedian returns the smallest y such that the weight of
+// members with value <= y reaches half the total.
+func weightedLowerMedian(members []Point) float64 {
+	ys := append([]Point(nil), members...)
+	sort.Slice(ys, func(a, b int) bool { return ys[a].Y < ys[b].Y })
+	var total float64
+	for _, p := range ys {
+		total += p.W
+	}
+	var acc float64
+	for _, p := range ys {
+		acc += p.W
+		if acc >= total/2 {
+			return p.Y
+		}
+	}
+	return ys[len(ys)-1].Y
+}
+
+// LossL1 evaluates Σ w·|f - y| for a fit aligned with pts sorted by X.
+func LossL1(pts []Point, fitted []float64) (float64, error) {
+	sorted, err := validate(pts)
+	if err != nil {
+		return 0, err
+	}
+	if len(fitted) != len(sorted) {
+		return 0, fmt.Errorf("isotonic: fit length %d != %d points", len(fitted), len(sorted))
+	}
+	var sum float64
+	for i, p := range sorted {
+		d := fitted[i] - p.Y
+		if d < 0 {
+			d = -d
+		}
+		sum += p.W * d
+	}
+	return sum, nil
+}
+
+// LossL2 evaluates Σ w·(f - y)² for a fit aligned with pts sorted by X.
+func LossL2(pts []Point, fitted []float64) (float64, error) {
+	sorted, err := validate(pts)
+	if err != nil {
+		return 0, err
+	}
+	if len(fitted) != len(sorted) {
+		return 0, fmt.Errorf("isotonic: fit length %d != %d points", len(fitted), len(sorted))
+	}
+	var sum float64
+	for i, p := range sorted {
+		d := fitted[i] - p.Y
+		sum += p.W * d * d
+	}
+	return sum, nil
+}

@@ -1,0 +1,226 @@
+package isotonic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"monoclass/internal/classifier"
+	"monoclass/internal/geom"
+)
+
+func checkMonotone(t *testing.T, fitted []float64) {
+	t.Helper()
+	for i := 1; i < len(fitted); i++ {
+		if fitted[i] < fitted[i-1]-1e-12 {
+			t.Fatalf("fit not monotone at %d: %v", i, fitted)
+		}
+	}
+}
+
+func TestFitL2Known(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1, W: 1}, {X: 2, Y: 3, W: 1}, {X: 3, Y: 2, W: 1}}
+	_, fit, err := FitL2(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 2.5}
+	for i := range want {
+		if math.Abs(fit[i]-want[i]) > 1e-12 {
+			t.Fatalf("fit = %v, want %v", fit, want)
+		}
+	}
+}
+
+func TestFitAlreadyMonotone(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1, W: 2}, {X: 2, Y: 2, W: 1}, {X: 3, Y: 5, W: 3}}
+	for name, f := range map[string]func([]Point) ([]float64, []float64, error){"L2": FitL2, "L1": FitL1} {
+		_, fit, err := f(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pts {
+			if fit[i] != p.Y {
+				t.Fatalf("%s: monotone input changed: %v", name, fit)
+			}
+		}
+	}
+}
+
+func TestFitsAreMonotoneOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64(), Y: rng.NormFloat64(), W: rng.Float64() + 0.1}
+		}
+		for name, f := range map[string]func([]Point) ([]float64, []float64, error){"L2": FitL2, "L1": FitL1} {
+			xs, fit, err := f(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkMonotone(t, fit)
+			if !sort.Float64sAreSorted(xs) {
+				t.Fatalf("%s: xs not sorted", name)
+			}
+		}
+	}
+}
+
+// No random monotone candidate may beat the PAVA fits.
+func TestFitsOptimalAgainstRandomCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(15)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: float64(i), Y: float64(rng.Intn(6)), W: float64(1 + rng.Intn(4))}
+		}
+		_, fitL2, err := FitL2(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossL2, _ := LossL2(pts, fitL2)
+		_, fitL1, err := FitL1(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossL1, _ := LossL1(pts, fitL1)
+		for probe := 0; probe < 200; probe++ {
+			cand := make([]float64, n)
+			v := rng.NormFloat64() * 3
+			for i := range cand {
+				v += rng.Float64() * 2 // non-decreasing by construction
+				cand[i] = v
+			}
+			if l, _ := LossL2(pts, cand); l < lossL2-1e-9 {
+				t.Fatalf("trial %d: candidate beats PAVA-L2 (%g < %g)", trial, l, lossL2)
+			}
+			if l, _ := LossL1(pts, cand); l < lossL1-1e-9 {
+				t.Fatalf("trial %d: candidate beats PAVA-L1 (%g < %g)", trial, l, lossL1)
+			}
+		}
+	}
+}
+
+// Exact DP cross-check for L1: an optimal monotone fit exists whose
+// values come from the observed ys; DP over (position, value index).
+func TestFitL1MatchesExactDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(12)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: float64(i), Y: float64(rng.Intn(5)), W: float64(1 + rng.Intn(4))}
+		}
+		_, fit, err := FitL1(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := LossL1(pts, fit)
+
+		// DP: values = sorted distinct ys.
+		var vals []float64
+		seen := map[float64]bool{}
+		for _, p := range pts {
+			if !seen[p.Y] {
+				seen[p.Y] = true
+				vals = append(vals, p.Y)
+			}
+		}
+		sort.Float64s(vals)
+		const inf = math.MaxFloat64
+		prev := make([]float64, len(vals))
+		for j, v := range vals {
+			prev[j] = pts[0].W * math.Abs(v-pts[0].Y)
+		}
+		for i := 1; i < n; i++ {
+			cur := make([]float64, len(vals))
+			best := inf
+			for j, v := range vals {
+				if prev[j] < best {
+					best = prev[j]
+				}
+				cur[j] = best + pts[i].W*math.Abs(v-pts[i].Y)
+			}
+			prev = cur
+		}
+		want := inf
+		for _, l := range prev {
+			if l < want {
+				want = l
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: PAVA-L1 loss %g != DP optimum %g (pts %v)", trial, got, want, pts)
+		}
+	}
+}
+
+// On binary labels with distinct positions, the L1 isotonic optimum
+// equals the optimal monotone threshold error — the bridge between
+// isotonic regression and 1-D monotone classification.
+func TestFitL1BinaryEqualsBestThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		perm := rng.Perm(200)
+		pts := make([]Point, n)
+		ws := make(geom.WeightedSet, n)
+		for i := range pts {
+			x := float64(perm[i]) // distinct positions
+			y := float64(rng.Intn(2))
+			w := float64(1 + rng.Intn(5))
+			pts[i] = Point{X: x, Y: y, W: w}
+			ws[i] = geom.WeightedPoint{P: geom.Point{x}, Label: geom.Label(int(y)), Weight: w}
+		}
+		_, fit, err := FitL1(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isoLoss, _ := LossL1(pts, fit)
+		_, thrLoss := classifier.BestThreshold1D(ws)
+		if math.Abs(isoLoss-thrLoss) > 1e-9 {
+			t.Fatalf("trial %d: isotonic %g != threshold %g", trial, isoLoss, thrLoss)
+		}
+		// Binary medians keep the fit binary.
+		for _, v := range fit {
+			if v != 0 && v != 1 {
+				t.Fatalf("trial %d: non-binary fitted value %g", trial, v)
+			}
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []Point{{X: 1, Y: 1, W: 0}}
+	if _, _, err := FitL2(bad); err == nil {
+		t.Error("zero weight accepted by FitL2")
+	}
+	if _, _, err := FitL1(bad); err == nil {
+		t.Error("zero weight accepted by FitL1")
+	}
+	good := []Point{{X: 1, Y: 1, W: 1}}
+	if _, err := LossL1(good, []float64{1, 2}); err == nil {
+		t.Error("fit length mismatch accepted")
+	}
+	if _, err := LossL2(good, nil); err == nil {
+		t.Error("fit length mismatch accepted")
+	}
+	if _, err := LossL1(bad, []float64{1}); err == nil {
+		t.Error("invalid points accepted by LossL1")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	xs, fit, err := FitL2(nil)
+	if err != nil || xs != nil || fit != nil {
+		t.Error("empty L2 fit mishandled")
+	}
+	xs, fit, err = FitL1(nil)
+	if err != nil || xs != nil || fit != nil {
+		t.Error("empty L1 fit mishandled")
+	}
+}

@@ -1,0 +1,219 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteMaxMatching finds the maximum matching size by exhaustive
+// search; usable for small graphs only.
+func bruteMaxMatching(b *Bipartite) int {
+	usedR := make([]bool, b.nRight)
+	var rec func(u int) int
+	rec = func(u int) int {
+		if u == b.nLeft {
+			return 0
+		}
+		best := rec(u + 1) // leave u unmatched
+		for _, v := range b.adj[u] {
+			if !usedR[v] {
+				usedR[v] = true
+				if got := 1 + rec(u+1); got > best {
+					best = got
+				}
+				usedR[v] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// validMatching checks structural consistency of a matching.
+func validMatching(t *testing.T, b *Bipartite, m Matching) {
+	t.Helper()
+	count := 0
+	for u, v := range m.MatchLeft {
+		if v == unmatched {
+			continue
+		}
+		count++
+		if m.MatchRight[v] != u {
+			t.Fatalf("MatchRight[%d] = %d, want %d", v, m.MatchRight[v], u)
+		}
+		found := false
+		for _, w := range b.adj[u] {
+			if w == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) is not an edge", u, v)
+		}
+	}
+	if count != m.Size {
+		t.Fatalf("Size = %d but %d pairs matched", m.Size, count)
+	}
+}
+
+func TestMaxMatchingSmall(t *testing.T) {
+	b := NewBipartite(3, 3)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 2)
+	m := MaxMatching(b)
+	if m.Size != 3 {
+		t.Errorf("Size = %d, want 3", m.Size)
+	}
+	validMatching(t, b, m)
+}
+
+func TestMaxMatchingNeedsAugmentation(t *testing.T) {
+	// A graph where greedy matching is suboptimal: 0-0, then 1 must
+	// displace it through an augmenting path.
+	b := NewBipartite(2, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	m := MaxMatching(b)
+	if m.Size != 2 {
+		t.Errorf("Size = %d, want 2", m.Size)
+	}
+	validMatching(t, b, m)
+}
+
+func TestMaxMatchingEmptyAndEdgeless(t *testing.T) {
+	if m := MaxMatching(NewBipartite(0, 0)); m.Size != 0 {
+		t.Error("empty graph should have empty matching")
+	}
+	if m := MaxMatching(NewBipartite(4, 4)); m.Size != 0 {
+		t.Error("edgeless graph should have empty matching")
+	}
+}
+
+func TestMaxMatchingPerfectBipartite(t *testing.T) {
+	// Complete bipartite K_{5,5}: perfect matching of size 5.
+	b := NewBipartite(5, 5)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	m := MaxMatching(b)
+	if m.Size != 5 {
+		t.Errorf("Size = %d, want 5", m.Size)
+	}
+	validMatching(t, b, m)
+}
+
+func TestMaxMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		nl := 1 + rng.Intn(7)
+		nr := 1 + rng.Intn(7)
+		b := NewBipartite(nl, nr)
+		for u := 0; u < nl; u++ {
+			for v := 0; v < nr; v++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		m := MaxMatching(b)
+		validMatching(t, b, m)
+		if want := bruteMaxMatching(b); m.Size != want {
+			t.Fatalf("trial %d: Size = %d, want %d", trial, m.Size, want)
+		}
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	b := NewBipartite(2, 2)
+	for _, f := range []func(){
+		func() { b.AddEdge(-1, 0) },
+		func() { b.AddEdge(2, 0) },
+		func() { b.AddEdge(0, -1) },
+		func() { b.AddEdge(0, 2) },
+		func() { NewBipartite(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	b := NewBipartite(3, 5)
+	if b.NumLeft() != 3 || b.NumRight() != 5 {
+		t.Error("accessors wrong")
+	}
+}
+
+// König's theorem: |min vertex cover| == |max matching|, and the cover
+// must touch every edge.
+func TestMinVertexCoverKoenig(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		nl := 1 + rng.Intn(8)
+		nr := 1 + rng.Intn(8)
+		b := NewBipartite(nl, nr)
+		type edge struct{ u, v int }
+		var edges []edge
+		for u := 0; u < nl; u++ {
+			for v := 0; v < nr; v++ {
+				if rng.Float64() < 0.35 {
+					b.AddEdge(u, v)
+					edges = append(edges, edge{u, v})
+				}
+			}
+		}
+		m := MaxMatching(b)
+		cl, cr := MinVertexCover(b, m)
+		size := 0
+		for _, c := range cl {
+			if c {
+				size++
+			}
+		}
+		for _, c := range cr {
+			if c {
+				size++
+			}
+		}
+		if size != m.Size {
+			t.Fatalf("trial %d: cover size %d != matching size %d", trial, size, m.Size)
+		}
+		for _, e := range edges {
+			if !cl[e.u] && !cr[e.v] {
+				t.Fatalf("trial %d: edge (%d,%d) uncovered", trial, e.u, e.v)
+			}
+		}
+	}
+}
+
+func TestMaxMatchingLargeRandom(t *testing.T) {
+	// Sanity at larger scale: matching size must equal n on a graph
+	// that contains a planted perfect matching.
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	b := NewBipartite(n, n)
+	perm := rng.Perm(n)
+	for u := 0; u < n; u++ {
+		b.AddEdge(u, perm[u]) // planted perfect matching
+		for k := 0; k < 3; k++ {
+			b.AddEdge(u, rng.Intn(n)) // noise edges
+		}
+	}
+	m := MaxMatching(b)
+	if m.Size != n {
+		t.Errorf("Size = %d, want %d", m.Size, n)
+	}
+	validMatching(t, b, m)
+}

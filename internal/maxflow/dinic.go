@@ -1,0 +1,75 @@
+package maxflow
+
+// Dinic computes a maximum flow using Dinic's algorithm: repeat BFS
+// level graphs and DFS blocking flows. It runs in O(V²E) in general and
+// is the default solver for the passive-classification networks. The
+// network is consumed (its residual capacities are mutated); Clone
+// first to keep the original.
+func Dinic(g *Network) Result {
+	g.prepare()
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[g.source] = 0
+		queue = queue[:0]
+		queue = append(queue, g.source)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, a := range g.adj[u] {
+				v := g.to[a]
+				if g.cap[a] > 0 && level[v] < 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		return level[g.sink] >= 0
+	}
+
+	var dfs func(u int, limit float64) float64
+	dfs = func(u int, limit float64) float64 {
+		if u == g.sink {
+			return limit
+		}
+		for ; iter[u] < len(g.adj[u]); iter[u]++ {
+			a := g.adj[u][iter[u]]
+			v := g.to[a]
+			if g.cap[a] <= 0 || level[v] != level[u]+1 {
+				continue
+			}
+			pushed := limit
+			if g.cap[a] < pushed {
+				pushed = g.cap[a]
+			}
+			got := dfs(v, pushed)
+			if got > 0 {
+				g.cap[a] -= got
+				g.cap[a^1] += got
+				return got
+			}
+		}
+		level[u] = -1 // dead end for the rest of this phase
+		return 0
+	}
+
+	var value float64
+	limit := g.finiteSum + 1 // exceeds any achievable augmentation
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			got := dfs(g.source, limit)
+			if got <= 0 {
+				break
+			}
+			value += got
+		}
+	}
+	return Result{Value: value, g: g}
+}

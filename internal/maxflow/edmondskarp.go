@@ -1,0 +1,59 @@
+package maxflow
+
+// EdmondsKarp computes a maximum flow by repeatedly augmenting along a
+// shortest (fewest-edge) path found by BFS; O(VE²). It exists as an
+// independently simple reference implementation that the faster
+// solvers are cross-checked against in tests and benchmarks.
+func EdmondsKarp(g *Network) Result {
+	g.prepare()
+	parentArc := make([]int32, g.n)
+	visited := make([]bool, g.n)
+	queue := make([]int, 0, g.n)
+
+	var value float64
+	for {
+		for i := range visited {
+			visited[i] = false
+		}
+		visited[g.source] = true
+		queue = queue[:0]
+		queue = append(queue, g.source)
+		found := false
+		for head := 0; head < len(queue) && !found; head++ {
+			u := queue[head]
+			for _, a := range g.adj[u] {
+				v := g.to[a]
+				if g.cap[a] <= 0 || visited[v] {
+					continue
+				}
+				visited[v] = true
+				parentArc[v] = a
+				if v == g.sink {
+					found = true
+					break
+				}
+				queue = append(queue, v)
+			}
+		}
+		if !found {
+			break
+		}
+		// Bottleneck along the recorded path.
+		bottleneck := g.finiteSum + 1
+		for v := g.sink; v != g.source; {
+			a := parentArc[v]
+			if g.cap[a] < bottleneck {
+				bottleneck = g.cap[a]
+			}
+			v = g.to[a^1]
+		}
+		for v := g.sink; v != g.source; {
+			a := parentArc[v]
+			g.cap[a] -= bottleneck
+			g.cap[a^1] += bottleneck
+			v = g.to[a^1]
+		}
+		value += bottleneck
+	}
+	return Result{Value: value, g: g}
+}

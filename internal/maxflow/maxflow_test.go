@@ -1,0 +1,354 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type solver struct {
+	name string
+	run  func(*Network) Result
+}
+
+var solvers = []solver{
+	{"Dinic", Dinic},
+	{"PushRelabel", PushRelabel},
+	{"EdmondsKarp", EdmondsKarp},
+	{"CapacityScaling", CapacityScaling},
+}
+
+// classic CLRS-style example with known max flow 23.
+func clrsNetwork() *Network {
+	g := New(6, 0, 5)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	return g
+}
+
+func TestSolversOnClassicExample(t *testing.T) {
+	for _, s := range solvers {
+		r := s.run(clrsNetwork())
+		if r.Value != 23 {
+			t.Errorf("%s: Value = %g, want 23", s.name, r.Value)
+		}
+		if got := r.CutWeight(); got != 23 {
+			t.Errorf("%s: CutWeight = %g, want 23", s.name, got)
+		}
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	for _, s := range solvers {
+		g := New(2, 0, 1)
+		id := g.AddEdge(0, 1, 7.5)
+		r := s.run(g)
+		if r.Value != 7.5 {
+			t.Errorf("%s: Value = %g, want 7.5", s.name, r.Value)
+		}
+		if r.Flow(id) != 7.5 {
+			t.Errorf("%s: Flow = %g, want 7.5", s.name, r.Flow(id))
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	for _, s := range solvers {
+		g := New(4, 0, 3)
+		g.AddEdge(0, 1, 5)
+		g.AddEdge(2, 3, 5) // no path source -> sink
+		r := s.run(g)
+		if r.Value != 0 {
+			t.Errorf("%s: Value = %g, want 0", s.name, r.Value)
+		}
+		if len(r.CutEdges()) != 0 {
+			t.Errorf("%s: cut should be empty on disconnected instance", s.name)
+		}
+	}
+}
+
+func TestInfiniteMiddleEdge(t *testing.T) {
+	// source -cap 3-> a -inf-> b -cap 2-> sink: flow 2, cut = {b->sink}.
+	for _, s := range solvers {
+		g := New(4, 0, 3)
+		g.AddEdge(0, 1, 3)
+		mid := g.AddEdge(1, 2, math.Inf(1))
+		last := g.AddEdge(2, 3, 2)
+		r := s.run(g)
+		if r.Value != 2 {
+			t.Errorf("%s: Value = %g, want 2", s.name, r.Value)
+		}
+		if r.IsInfinite() {
+			t.Errorf("%s: finite instance flagged infinite", s.name)
+		}
+		cut := r.CutEdges()
+		if len(cut) != 1 || cut[0].ID != last {
+			t.Errorf("%s: cut = %v, want only edge %d", s.name, cut, last)
+		}
+		if r.Flow(mid) != 2 {
+			t.Errorf("%s: middle edge flow = %g, want 2", s.name, r.Flow(mid))
+		}
+	}
+}
+
+func TestUnboundedInstanceDetected(t *testing.T) {
+	for _, s := range solvers {
+		g := New(3, 0, 2)
+		g.AddEdge(0, 1, math.Inf(1))
+		g.AddEdge(1, 2, math.Inf(1))
+		g.AddEdge(0, 2, 1)
+		r := s.run(g)
+		if !r.IsInfinite() {
+			t.Errorf("%s: unbounded instance not detected", s.name)
+		}
+	}
+}
+
+func TestCutEdgesPanicsOnUnbounded(t *testing.T) {
+	g := New(3, 0, 2)
+	g.AddEdge(0, 1, math.Inf(1))
+	g.AddEdge(1, 2, math.Inf(1))
+	r := Dinic(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic cutting an unbounded instance")
+		}
+	}()
+	r.CutEdges()
+}
+
+func TestParallelAndAntiparallelEdges(t *testing.T) {
+	for _, s := range solvers {
+		g := New(3, 0, 2)
+		g.AddEdge(0, 1, 2)
+		g.AddEdge(0, 1, 3) // parallel
+		g.AddEdge(1, 0, 5) // antiparallel, unusable
+		g.AddEdge(1, 2, 4)
+		r := s.run(g)
+		if r.Value != 4 {
+			t.Errorf("%s: Value = %g, want 4", s.name, r.Value)
+		}
+	}
+}
+
+func TestFlowConservationAndCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		g := New(n, 0, n-1)
+		type e struct {
+			id   int
+			u, v int
+			cap  float64
+		}
+		var edges []e
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.35 {
+					c := float64(rng.Intn(10) + 1)
+					id := g.AddEdge(u, v, c)
+					edges = append(edges, e{id, u, v, c})
+				}
+			}
+		}
+		for _, s := range solvers {
+			r := s.run(g.Clone())
+			net := make([]float64, n)
+			for _, ed := range edges {
+				f := r.Flow(ed.id)
+				if f < -1e-9 || f > ed.cap+1e-9 {
+					t.Fatalf("%s trial %d: flow %g outside [0,%g]", s.name, trial, f, ed.cap)
+				}
+				net[ed.u] -= f
+				net[ed.v] += f
+			}
+			for v := 1; v < n-1; v++ {
+				if math.Abs(net[v]) > 1e-9 {
+					t.Fatalf("%s trial %d: conservation violated at %d (%g)", s.name, trial, v, net[v])
+				}
+			}
+			if math.Abs(net[n-1]-r.Value) > 1e-9 {
+				t.Fatalf("%s trial %d: sink inflow %g != value %g", s.name, trial, net[n-1], r.Value)
+			}
+		}
+	}
+}
+
+func TestSolversAgreeOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(12)
+		g := New(n, 0, n-1)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.3 {
+					g.AddEdge(u, v, float64(rng.Intn(20)+1))
+				}
+			}
+		}
+		var vals []float64
+		for _, s := range solvers {
+			r := s.run(g.Clone())
+			vals = append(vals, r.Value)
+			// Max-flow min-cut: cut weight equals flow value.
+			if math.Abs(r.CutWeight()-r.Value) > 1e-9 {
+				t.Fatalf("%s trial %d: cut %g != flow %g", s.name, trial, r.CutWeight(), r.Value)
+			}
+			side := r.SourceSide()
+			if !side[0] || side[n-1] {
+				t.Fatalf("%s trial %d: source side misplaced", s.name, trial)
+			}
+		}
+		for i := 1; i < len(vals); i++ {
+			if math.Abs(vals[i]-vals[0]) > 1e-9 {
+				t.Fatalf("trial %d: solver disagreement %v", trial, vals)
+			}
+		}
+	}
+}
+
+func TestCutEdgesDisconnect(t *testing.T) {
+	// Removing the cut-edge set must disconnect source from sink
+	// (definition of a cut-edge set, Lemma 8).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(8)
+		g := New(n, 0, n-1)
+		type e struct{ u, v, id int }
+		var edges []e
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					id := g.AddEdge(u, v, float64(rng.Intn(9)+1))
+					edges = append(edges, e{u, v, id})
+				}
+			}
+		}
+		r := Dinic(g.Clone())
+		removed := map[int]bool{}
+		for _, c := range r.CutEdges() {
+			removed[c.ID] = true
+		}
+		// BFS on original edges minus the cut set.
+		adj := make([][]int, n)
+		for _, ed := range edges {
+			if !removed[ed.id] {
+				adj[ed.u] = append(adj[ed.u], ed.v)
+			}
+		}
+		seen := make([]bool, n)
+		seen[0] = true
+		stack := []int{0}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		if seen[n-1] {
+			t.Fatalf("trial %d: cut-edge set does not disconnect", trial)
+		}
+	}
+}
+
+func TestConstructionPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { New(1, 0, 0) },
+		func() { New(3, 0, 0) },
+		func() { New(3, -1, 2) },
+		func() { New(3, 0, 3) },
+		func() { g := New(2, 0, 1); g.AddEdge(0, 2, 1) },
+		func() { g := New(2, 0, 1); g.AddEdge(-1, 1, 1) },
+		func() { g := New(2, 0, 1); g.AddEdge(0, 1, -2) },
+		func() { g := New(2, 0, 1); g.AddEdge(0, 1, math.NaN()) },
+		func() {
+			g := New(2, 0, 1)
+			g.AddEdge(0, 1, 1)
+			Dinic(g)
+			g.AddEdge(0, 1, 1)
+		},
+		func() {
+			g := New(2, 0, 1)
+			g.AddEdge(0, 1, 1)
+			Dinic(g).Flow(5)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := clrsNetwork()
+	cp := g.Clone()
+	Dinic(g) // mutates g
+	r := Dinic(cp)
+	if r.Value != 23 {
+		t.Errorf("clone was corrupted by solving the original: %g", r.Value)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := New(5, 1, 3)
+	g.AddEdge(1, 2, 1)
+	if g.NumVertices() != 5 || g.NumEdges() != 1 || g.Source() != 1 || g.Sink() != 3 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestLargeLayeredNetwork(t *testing.T) {
+	// A deep layered network exercises Dinic phases and push-relabel
+	// relabeling at moderate scale.
+	const layers, width = 30, 10
+	n := 2 + layers*width
+	src, snk := 0, n-1
+	vid := func(l, i int) int { return 1 + l*width + i }
+	rng := rand.New(rand.NewSource(3))
+	build := func() *Network {
+		g := New(n, src, snk)
+		for i := 0; i < width; i++ {
+			g.AddEdge(src, vid(0, i), float64(rng.Intn(5)+1))
+			g.AddEdge(vid(layers-1, i), snk, float64(rng.Intn(5)+1))
+		}
+		for l := 0; l+1 < layers; l++ {
+			for i := 0; i < width; i++ {
+				for j := 0; j < width; j++ {
+					if rng.Float64() < 0.3 {
+						g.AddEdge(vid(l, i), vid(l+1, j), float64(rng.Intn(5)+1))
+					}
+				}
+			}
+		}
+		return g
+	}
+	g := build()
+	var base float64
+	for i, s := range solvers {
+		r := s.run(g.Clone())
+		if i == 0 {
+			base = r.Value
+			continue
+		}
+		if math.Abs(r.Value-base) > 1e-9 {
+			t.Fatalf("%s disagrees: %g vs %g", s.name, r.Value, base)
+		}
+	}
+}

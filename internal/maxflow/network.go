@@ -1,0 +1,204 @@
+// Package maxflow implements the max-flow / min-cut substrate of
+// Section 2 and Section 5 of the paper. It provides three solvers —
+// Dinic's algorithm, Goldberg–Tarjan FIFO push-relabel (the O(V³)
+// algorithm the paper cites), and Edmonds–Karp as a simple reference —
+// plus extraction of a minimum-weight cut-edge set via the residual
+// reachability construction in the proof of Lemma 8.
+//
+// Capacities are float64 and may be math.Inf(1); infinite capacities
+// are internally replaced by a finite value exceeding every possible
+// cut weight, which never changes a (finite) min cut. Lemma 18 of the
+// paper guarantees that the passive-classification networks never cut
+// such an edge, and CutEdges verifies this at runtime.
+package maxflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a flow network over vertices 0..n-1 with designated
+// source and sink. Edges are stored as residual arc pairs: arcs 2k and
+// 2k+1 are mutual reverses.
+type Network struct {
+	n            int
+	source, sink int
+	to           []int     // arc target
+	cap          []float64 // remaining residual capacity
+	orig         []float64 // original capacity (0 for pure reverse arcs)
+	infinite     []bool    // whether the arc was added with cap = +Inf
+	adj          [][]int32 // adjacency: arc indices per vertex
+	finiteSum    float64   // sum of finite original capacities
+	prepared     bool
+}
+
+// New creates a network with n vertices, a source, and a sink. Source
+// and sink must be distinct in-range vertices.
+func New(n, source, sink int) *Network {
+	if n < 2 {
+		panic(fmt.Sprintf("maxflow: need at least 2 vertices, got %d", n))
+	}
+	if source < 0 || source >= n || sink < 0 || sink >= n || source == sink {
+		panic(fmt.Sprintf("maxflow: bad source/sink %d/%d for n=%d", source, sink, n))
+	}
+	return &Network{n: n, source: source, sink: sink, adj: make([][]int32, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Network) NumVertices() int { return g.n }
+
+// NumEdges returns the number of added (forward) edges.
+func (g *Network) NumEdges() int { return len(g.to) / 2 }
+
+// Source returns the source vertex.
+func (g *Network) Source() int { return g.source }
+
+// Sink returns the sink vertex.
+func (g *Network) Sink() int { return g.sink }
+
+// AddEdge adds a directed edge u -> v with the given capacity, which
+// must be non-negative and may be +Inf. It returns an edge identifier
+// usable with Flow and in CutEdge reports. Adding edges after a solver
+// has run panics.
+func (g *Network) AddEdge(u, v int, capacity float64) int {
+	if g.prepared {
+		panic("maxflow: AddEdge after solving")
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range for n=%d", u, v, g.n))
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("maxflow: invalid capacity %g", capacity))
+	}
+	id := len(g.to) / 2
+	inf := math.IsInf(capacity, 1)
+	if !inf {
+		g.finiteSum += capacity
+	}
+	g.to = append(g.to, v, u)
+	g.cap = append(g.cap, capacity, 0)
+	g.orig = append(g.orig, capacity, 0)
+	g.infinite = append(g.infinite, inf, false)
+	g.adj[u] = append(g.adj[u], int32(2*id))
+	g.adj[v] = append(g.adj[v], int32(2*id+1))
+	return id
+}
+
+// prepare replaces infinite capacities by finiteSum + 1, a value larger
+// than the weight of any cut made of finite edges, so they can never
+// participate in a minimum cut and arithmetic stays finite.
+func (g *Network) prepare() {
+	if g.prepared {
+		return
+	}
+	huge := g.finiteSum + 1
+	for a := range g.cap {
+		if g.infinite[a] {
+			g.cap[a] = huge
+			g.orig[a] = huge
+		}
+	}
+	g.prepared = true
+}
+
+// Clone returns a deep copy of the network in its current state, so
+// several solvers can run on the same instance.
+func (g *Network) Clone() *Network {
+	cp := &Network{
+		n: g.n, source: g.source, sink: g.sink,
+		to:        append([]int(nil), g.to...),
+		cap:       append([]float64(nil), g.cap...),
+		orig:      append([]float64(nil), g.orig...),
+		infinite:  append([]bool(nil), g.infinite...),
+		adj:       make([][]int32, g.n),
+		finiteSum: g.finiteSum,
+		prepared:  g.prepared,
+	}
+	for v := range g.adj {
+		cp.adj[v] = append([]int32(nil), g.adj[v]...)
+	}
+	return cp
+}
+
+// Result is the outcome of a max-flow computation. It retains the
+// residual network for flow queries and min-cut extraction.
+type Result struct {
+	// Value is the maximum flow value.
+	Value float64
+	g     *Network
+}
+
+// Flow returns the amount of flow carried by the edge with the given
+// identifier (as returned by AddEdge).
+func (r Result) Flow(edgeID int) float64 {
+	a := 2 * edgeID
+	if a < 0 || a >= len(r.g.to) {
+		panic(fmt.Sprintf("maxflow: edge id %d out of range", edgeID))
+	}
+	return r.g.orig[a] - r.g.cap[a]
+}
+
+// IsInfinite reports whether the instance admits unbounded flow, i.e.
+// some source-sink path consists only of infinite-capacity edges. In
+// that case Value is a finite surrogate and no finite min cut exists.
+func (r Result) IsInfinite() bool { return r.Value > r.g.finiteSum }
+
+// SourceSide returns the source side V_src of a minimum cut: the set of
+// vertices reachable from the source in the residual network. Together
+// with its complement it forms the minimum source-sink cut of Lemma 7.
+func (r Result) SourceSide() []bool {
+	reach := make([]bool, r.g.n)
+	reach[r.g.source] = true
+	queue := []int{r.g.source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range r.g.adj[u] {
+			if r.g.cap[a] <= 0 {
+				continue
+			}
+			v := r.g.to[a]
+			if !reach[v] {
+				reach[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reach
+}
+
+// CutEdge describes one member of the minimum cut-edge set.
+type CutEdge struct {
+	ID       int     // edge identifier from AddEdge
+	From, To int     // endpoints
+	Capacity float64 // original capacity
+}
+
+// CutEdges returns a minimum-weight cut-edge set (Lemma 8): the
+// original edges leaving the residual source side. Its total capacity
+// equals Value by max-flow min-cut. CutEdges panics if an
+// infinite-capacity edge would be cut, which can only happen on
+// instances with unbounded flow (check IsInfinite first).
+func (r Result) CutEdges() []CutEdge {
+	side := r.SourceSide()
+	var out []CutEdge
+	for a := 0; a < len(r.g.to); a += 2 {
+		u, v := r.g.to[a+1], r.g.to[a]
+		if side[u] && !side[v] {
+			if r.g.infinite[a] {
+				panic("maxflow: minimum cut uses an infinite-capacity edge (unbounded instance)")
+			}
+			out = append(out, CutEdge{ID: a / 2, From: u, To: v, Capacity: r.g.orig[a]})
+		}
+	}
+	return out
+}
+
+// CutWeight returns the total capacity of CutEdges.
+func (r Result) CutWeight() float64 {
+	var sum float64
+	for _, e := range r.CutEdges() {
+		sum += e.Capacity
+	}
+	return sum
+}

@@ -1,0 +1,115 @@
+package maxflow
+
+// PushRelabel computes a maximum flow with the Goldberg–Tarjan
+// push-relabel method [14] using FIFO vertex selection and the gap
+// heuristic, the O(V³) algorithm the paper plugs into Theorem 4's
+// T_maxflow(n) term. The network is consumed; Clone first to keep the
+// original.
+func PushRelabel(g *Network) Result {
+	g.prepare()
+	n := g.n
+	height := make([]int, n)
+	excess := make([]float64, n)
+	current := make([]int, n)
+	inQueue := make([]bool, n)
+	count := make([]int, 2*n+1) // vertices per height, for the gap heuristic
+
+	push := func(a int32, amount float64) {
+		g.cap[a] -= amount
+		g.cap[a^1] += amount
+	}
+
+	queue := make([]int, 0, n)
+	enqueue := func(v int) {
+		if !inQueue[v] && v != g.source && v != g.sink && excess[v] > 0 {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+
+	// Initialization: the source sits at height n and saturates all
+	// its outgoing arcs, creating the initial preflow.
+	height[g.source] = n
+	count[0] = n - 1
+	count[n]++
+	for _, a := range g.adj[g.source] {
+		if g.cap[a] <= 0 {
+			continue
+		}
+		amount := g.cap[a]
+		v := g.to[a]
+		push(a, amount)
+		excess[v] += amount
+		excess[g.source] -= amount
+		enqueue(v)
+	}
+
+	// gap lifts every vertex stranded above an empty height level
+	// straight past n; such vertices can only return flow to the
+	// source, never reach the sink again.
+	gap := func(h int) {
+		for v := 0; v < n; v++ {
+			if v == g.source || height[v] <= h || height[v] >= n {
+				continue
+			}
+			count[height[v]]--
+			height[v] = n + 1
+			count[height[v]]++
+			current[v] = 0
+		}
+	}
+
+	relabel := func(u int) {
+		minH := 2 * n // a vertex with excess always has a residual arc
+		for _, a := range g.adj[u] {
+			if g.cap[a] > 0 && height[g.to[a]] < minH {
+				minH = height[g.to[a]]
+			}
+		}
+		if minH == 2*n {
+			// A vertex with positive excess received a push, so its
+			// reverse arc has positive residual capacity; this branch
+			// is unreachable on a consistent network.
+			panic("maxflow: relabel found no residual arc")
+		}
+		old := height[u]
+		count[old]--
+		height[u] = minH + 1 // <= 2n-1+1, within the count array
+		count[height[u]]++
+		current[u] = 0
+		if count[old] == 0 && old < n {
+			gap(old)
+		}
+	}
+
+	discharge := func(u int) {
+		for excess[u] > 0 {
+			if current[u] == len(g.adj[u]) {
+				relabel(u)
+				continue
+			}
+			a := g.adj[u][current[u]]
+			v := g.to[a]
+			if g.cap[a] > 0 && height[u] == height[v]+1 {
+				amount := excess[u]
+				if g.cap[a] < amount {
+					amount = g.cap[a]
+				}
+				push(a, amount)
+				excess[u] -= amount
+				excess[v] += amount
+				enqueue(v)
+			} else {
+				current[u]++
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		discharge(u)
+	}
+	return Result{Value: excess[g.sink], g: g}
+}

@@ -1,0 +1,215 @@
+// Package obst implements the augmented binary search tree that
+// footnote 2 of the paper invokes for the Õ(1/ε²)-time implementation
+// of the 1-D algorithm: a balanced tree over weighted labeled keys
+// that maintains, under insertion, the best 1-D monotone threshold and
+// its weighted error in O(log n) per update.
+//
+// The classifier h^τ(x) = 1 iff x > τ mis-classifies positives at keys
+// ≤ τ and negatives at keys > τ, so
+//
+//	w-err(h^τ) = W₀(total) + Σ_{key ≤ τ} (label==1 ? +w : -w).
+//
+// Writing g(τ) for the signed prefix sum, the optimum over all
+// thresholds is W₀ + min(0, min_τ g(τ)) — a prefix-minimum query. The
+// tree is a treap keyed by coordinate whose nodes carry their
+// subtree's signed sum and minimum prefix, the standard augmentation
+// that answers the query (and recovers the argmin) in O(log n).
+package obst
+
+import (
+	"math"
+	"math/rand"
+
+	"monoclass/internal/geom"
+)
+
+// ThresholdTree maintains a dynamic weighted 1-D labeled set and its
+// optimal monotone threshold. The zero value is not usable; construct
+// with New.
+type ThresholdTree struct {
+	rng       *rand.Rand
+	root      *node
+	zeroTotal float64 // total weight of label-0 points
+	total     float64 // total weight
+	size      int
+}
+
+// node is one treap node. Equal keys are merged into one node
+// (weights accumulate), keeping the tree a strict search tree.
+type node struct {
+	key      float64
+	priority int64
+	// signed holds this key's own contribution: +w per label-1 unit,
+	// -w per label-0 unit.
+	signed float64
+	// sum and minPrefix are the subtree aggregates: the total signed
+	// weight, and the minimum over all prefixes of the subtree's
+	// in-order signed sequence.
+	sum       float64
+	minPrefix float64
+	left      *node
+	right     *node
+}
+
+// New creates an empty tree; rng drives treap priorities (determinism
+// follows from the seed).
+func New(rng *rand.Rand) *ThresholdTree {
+	return &ThresholdTree{rng: rng}
+}
+
+// Len returns the number of distinct keys stored.
+func (t *ThresholdTree) Len() int { return t.size }
+
+// TotalWeight returns the summed weight of all inserted points.
+func (t *ThresholdTree) TotalWeight() float64 { return t.total }
+
+// update recomputes a node's aggregates from its children.
+func (n *node) update() {
+	n.sum = n.signed
+	if n.left != nil {
+		n.sum += n.left.sum
+	}
+	if n.right != nil {
+		n.sum += n.right.sum
+	}
+	// Prefixes end inside the left subtree, at this node, or inside
+	// the right subtree.
+	leftSum := 0.0
+	n.minPrefix = math.Inf(1)
+	if n.left != nil {
+		n.minPrefix = n.left.minPrefix
+		leftSum = n.left.sum
+	}
+	atSelf := leftSum + n.signed
+	if atSelf < n.minPrefix {
+		n.minPrefix = atSelf
+	}
+	if n.right != nil {
+		if v := atSelf + n.right.minPrefix; v < n.minPrefix {
+			n.minPrefix = v
+		}
+	}
+}
+
+// Insert adds a point with the given key, label and positive weight.
+func (t *ThresholdTree) Insert(key float64, label geom.Label, weight float64) {
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		panic("obst: weight must be positive and finite")
+	}
+	if math.IsNaN(key) {
+		panic("obst: NaN key")
+	}
+	signed := weight
+	if label == geom.Negative {
+		signed = -weight
+		t.zeroTotal += weight
+	}
+	t.total += weight
+	t.root = t.insert(t.root, key, signed)
+}
+
+func (t *ThresholdTree) insert(n *node, key float64, signed float64) *node {
+	if n == nil {
+		t.size++
+		nn := &node{key: key, priority: t.rng.Int63(), signed: signed}
+		nn.update()
+		return nn
+	}
+	switch {
+	case key == n.key:
+		n.signed += signed
+	case key < n.key:
+		n.left = t.insert(n.left, key, signed)
+		if n.left.priority > n.priority {
+			n = rotateRight(n)
+		}
+	default:
+		n.right = t.insert(n.right, key, signed)
+		if n.right.priority > n.priority {
+			n = rotateLeft(n)
+		}
+	}
+	n.update()
+	return n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	n.update()
+	l.right = n
+	l.update()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	n.update()
+	r.left = n
+	r.update()
+	return r
+}
+
+// Best returns an optimal threshold and its weighted error over the
+// inserted points, in O(log n). The threshold is -Inf when predicting
+// everything positive is optimal; ties prefer the smaller threshold.
+func (t *ThresholdTree) Best() (tau float64, werr float64) {
+	// err(-Inf) corresponds to the empty prefix (g = 0).
+	if t.root == nil || t.root.minPrefix >= 0 {
+		return math.Inf(-1), t.zeroTotal
+	}
+	tau = descend(t.root, 0)
+	return tau, t.Err(tau)
+}
+
+// descend walks towards the in-order prefix of minimum signed sum,
+// choosing at each node among (left subtree, this node, right subtree)
+// by comparing the stored aggregates; acc is the signed sum of
+// everything left of subtree n. Ties prefer the leftmost (smallest
+// threshold). Comparisons use the same stored values the aggregates
+// were built from, so no exact-equality on recomputed floats is
+// needed.
+func descend(n *node, acc float64) float64 {
+	leftSum := 0.0
+	leftBest := math.Inf(1)
+	if n.left != nil {
+		leftSum = n.left.sum
+		leftBest = acc + n.left.minPrefix
+	}
+	atSelf := acc + leftSum + n.signed
+	rightBest := math.Inf(1)
+	if n.right != nil {
+		rightBest = atSelf + n.right.minPrefix
+	}
+	switch {
+	case leftBest <= atSelf && leftBest <= rightBest:
+		return descend(n.left, acc)
+	case atSelf <= rightBest:
+		return n.key
+	default:
+		return descend(n.right, atSelf)
+	}
+}
+
+// Err evaluates w-err(h^tau) of the current point set in O(log n).
+func (t *ThresholdTree) Err(tau float64) float64 {
+	return t.zeroTotal + prefixSumLE(t.root, tau)
+}
+
+// prefixSumLE returns the signed sum over keys <= tau.
+func prefixSumLE(n *node, tau float64) float64 {
+	var sum float64
+	for n != nil {
+		if n.key <= tau {
+			sum += n.signed
+			if n.left != nil {
+				sum += n.left.sum
+			}
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return sum
+}

@@ -1,0 +1,181 @@
+package obst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/classifier"
+	"monoclass/internal/geom"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(rand.New(rand.NewSource(1)))
+	tau, werr := tr.Best()
+	if !math.IsInf(tau, -1) || werr != 0 {
+		t.Errorf("empty tree Best = (%g, %g), want (-Inf, 0)", tau, werr)
+	}
+	if tr.Len() != 0 || tr.TotalWeight() != 0 {
+		t.Error("empty tree accounting wrong")
+	}
+	if tr.Err(5) != 0 {
+		t.Error("empty Err should be 0")
+	}
+}
+
+func TestSimpleScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// One positive at 1, one negative at 2 (inverted): best is one of
+	// the two single-error options.
+	tr := New(rng)
+	tr.Insert(1, geom.Positive, 100)
+	tr.Insert(2, geom.Negative, 60)
+	_, werr := tr.Best()
+	if werr != 60 {
+		t.Errorf("werr = %g, want 60 (predict all positive except nothing)", werr)
+	}
+	// Clean monotone data: negative at 1, positive at 2.
+	tr = New(rng)
+	tr.Insert(1, geom.Negative, 5)
+	tr.Insert(2, geom.Positive, 5)
+	tau, werr := tr.Best()
+	if werr != 0 || tau != 1 {
+		t.Errorf("Best = (%g, %g), want (1, 0)", tau, werr)
+	}
+}
+
+func TestErrEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(rng)
+	tr.Insert(1, geom.Negative, 2)
+	tr.Insert(2, geom.Positive, 3)
+	tr.Insert(3, geom.Negative, 4)
+	// tau = -inf: negatives mis-classified: 2+4 = 6.
+	if got := tr.Err(math.Inf(-1)); got != 6 {
+		t.Errorf("Err(-inf) = %g, want 6", got)
+	}
+	// tau = 1: negative at 1 fixed -> 4.
+	if got := tr.Err(1); got != 4 {
+		t.Errorf("Err(1) = %g, want 4", got)
+	}
+	// tau = 2: also lose the positive -> 4+3 = 7.
+	if got := tr.Err(2); got != 7 {
+		t.Errorf("Err(2) = %g, want 7", got)
+	}
+	// tau = 3: all predicted negative -> 3.
+	if got := tr.Err(3); got != 3 {
+		t.Errorf("Err(3) = %g, want 3", got)
+	}
+	tau, werr := tr.Best()
+	if werr != 3 || tau != 3 {
+		t.Errorf("Best = (%g, %g), want (3, 3)", tau, werr)
+	}
+}
+
+func TestDuplicateKeysMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := New(rng)
+	for i := 0; i < 10; i++ {
+		tr.Insert(7, geom.Positive, 1)
+		tr.Insert(7, geom.Negative, 1)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (equal keys merge)", tr.Len())
+	}
+	if tr.TotalWeight() != 20 {
+		t.Errorf("TotalWeight = %g, want 20", tr.TotalWeight())
+	}
+	// Any threshold mis-classifies exactly one side: werr = 10.
+	if _, werr := tr.Best(); werr != 10 {
+		t.Errorf("werr = %g, want 10", werr)
+	}
+}
+
+func TestInsertPanics(t *testing.T) {
+	tr := New(rand.New(rand.NewSource(1)))
+	for i, f := range []func(){
+		func() { tr.Insert(1, geom.Positive, 0) },
+		func() { tr.Insert(1, geom.Positive, -1) },
+		func() { tr.Insert(1, geom.Positive, math.Inf(1)) },
+		func() { tr.Insert(math.NaN(), geom.Positive, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The tree must agree with the exact O(n log n) sweep solver on random
+// instances, after every single insertion (the incremental guarantee).
+func TestMatchesBestThreshold1DIncrementally(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		tr := New(rng)
+		var ws geom.WeightedSet
+		for step := 0; step < 60; step++ {
+			key := float64(rng.Intn(20))
+			label := geom.Label(rng.Intn(2))
+			weight := float64(1 + rng.Intn(5))
+			tr.Insert(key, label, weight)
+			ws = append(ws, geom.WeightedPoint{P: geom.Point{key}, Label: label, Weight: weight})
+
+			_, wantErr := classifier.BestThreshold1D(ws)
+			gotTau, gotErr := tr.Best()
+			if math.Abs(gotErr-wantErr) > 1e-9 {
+				t.Fatalf("trial %d step %d: tree err %g, sweep err %g", trial, step, gotErr, wantErr)
+			}
+			// The returned threshold must actually achieve the error.
+			h := classifier.Threshold1D{Tau: gotTau}
+			if math.Abs(geom.WErr(ws, h.Classify)-gotErr) > 1e-9 {
+				t.Fatalf("trial %d step %d: tau %g does not achieve err %g", trial, step, gotTau, gotErr)
+			}
+		}
+	}
+}
+
+// Float weights: agreement within tolerance.
+func TestMatchesSweepFloatWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := New(rng)
+	var ws geom.WeightedSet
+	for step := 0; step < 3000; step++ {
+		key := rng.Float64()
+		label := geom.Label(rng.Intn(2))
+		weight := rng.Float64() + 0.01
+		tr.Insert(key, label, weight)
+		ws = append(ws, geom.WeightedPoint{P: geom.Point{key}, Label: label, Weight: weight})
+	}
+	_, wantErr := classifier.BestThreshold1D(ws)
+	_, gotErr := tr.Best()
+	if math.Abs(gotErr-wantErr) > 1e-6*wantErr {
+		t.Fatalf("tree err %g, sweep err %g", gotErr, wantErr)
+	}
+}
+
+func TestLargeSortedInsertStaysBalanced(t *testing.T) {
+	// Sorted insertion order is the classic BST killer; the treap must
+	// stay logarithmic (this test times out badly if it degrades to a
+	// path).
+	rng := rand.New(rand.NewSource(7))
+	tr := New(rng)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		label := geom.Negative
+		if i > n/2 {
+			label = geom.Positive
+		}
+		tr.Insert(float64(i), label, 1)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	tau, werr := tr.Best()
+	if werr != 0 {
+		t.Errorf("clean split should have zero error, got %g at tau=%g", werr, tau)
+	}
+}

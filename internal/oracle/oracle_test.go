@@ -1,0 +1,277 @@
+package oracle
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+func labels(vals ...int) []geom.Label {
+	out := make([]geom.Label, len(vals))
+	for i, v := range vals {
+		out[i] = geom.Label(v)
+	}
+	return out
+}
+
+func TestStatic(t *testing.T) {
+	s := NewStatic(labels(0, 1, 1))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i, want := range labels(0, 1, 1) {
+		got, err := s.Probe(i)
+		if err != nil || got != want {
+			t.Errorf("Probe(%d) = %v, %v; want %v", i, got, err, want)
+		}
+	}
+	if _, err := s.Probe(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := s.Probe(3); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestStaticCopiesInput(t *testing.T) {
+	src := labels(0, 1)
+	s := NewStatic(src)
+	src[0] = 1
+	if got, _ := s.Probe(0); got != geom.Negative {
+		t.Error("Static aliases caller's slice")
+	}
+}
+
+func TestFromLabeled(t *testing.T) {
+	pts := []geom.LabeledPoint{
+		{P: geom.Point{1}, Label: geom.Positive},
+		{P: geom.Point{2}, Label: geom.Negative},
+	}
+	s := FromLabeled(pts)
+	if got, _ := s.Probe(0); got != geom.Positive {
+		t.Error("FromLabeled label 0 wrong")
+	}
+	if got, _ := s.Probe(1); got != geom.Negative {
+		t.Error("FromLabeled label 1 wrong")
+	}
+}
+
+func TestCounting(t *testing.T) {
+	c := NewCounting(NewStatic(labels(0, 1)))
+	if c.Probes() != 0 {
+		t.Fatal("fresh counter nonzero")
+	}
+	c.Probe(0)
+	c.Probe(0) // repeats count
+	c.Probe(1)
+	if c.Probes() != 3 {
+		t.Errorf("Probes = %d, want 3", c.Probes())
+	}
+	if _, err := c.Probe(9); err == nil {
+		t.Error("error not propagated")
+	}
+	if c.Probes() != 3 {
+		t.Error("failed probe must not count")
+	}
+	c.Reset()
+	if c.Probes() != 0 {
+		t.Error("Reset failed")
+	}
+	if c.Len() != 2 {
+		t.Error("Len not forwarded")
+	}
+}
+
+func TestCaching(t *testing.T) {
+	counting := NewCounting(NewStatic(labels(0, 1, 1)))
+	c := NewCaching(counting)
+	c.Probe(1)
+	c.Probe(1)
+	c.Probe(1)
+	if counting.Probes() != 1 {
+		t.Errorf("inner probes = %d, want 1 (cache must absorb repeats)", counting.Probes())
+	}
+	if c.Distinct() != 1 {
+		t.Errorf("Distinct = %d, want 1", c.Distinct())
+	}
+	if l, ok := c.Known(1); !ok || l != geom.Positive {
+		t.Error("Known(1) wrong")
+	}
+	if _, ok := c.Known(0); ok {
+		t.Error("Known(0) should be unset")
+	}
+	if _, err := c.Probe(42); err == nil {
+		t.Error("error not propagated")
+	}
+	if c.Len() != 3 {
+		t.Error("Len not forwarded")
+	}
+}
+
+func TestBudgeted(t *testing.T) {
+	b := NewBudgeted(NewStatic(labels(0, 1, 1, 0)), 2)
+	if b.Remaining() != 2 {
+		t.Fatal("Remaining wrong")
+	}
+	if _, err := b.Probe(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Probe(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Probe(2); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("expected ErrBudgetExhausted, got %v", err)
+	}
+	if b.Remaining() != 0 {
+		t.Error("Remaining should be 0")
+	}
+	// A failing inner probe must not consume budget.
+	b2 := NewBudgeted(NewStatic(labels(0)), 5)
+	b2.Probe(77)
+	if b2.Remaining() != 5 {
+		t.Error("failed probe consumed budget")
+	}
+	if b.Len() != 4 {
+		t.Error("Len not forwarded")
+	}
+}
+
+func TestNoisySticky(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewNoisy(NewStatic(labels(0, 0, 0, 0, 0, 0, 0, 0)), 0.5, rng)
+	first := make([]geom.Label, n.Len())
+	for i := 0; i < n.Len(); i++ {
+		l, err := n.Probe(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = l
+	}
+	for i := 0; i < n.Len(); i++ {
+		l, _ := n.Probe(i)
+		if l != first[i] {
+			t.Fatalf("point %d answered inconsistently", i)
+		}
+	}
+}
+
+func TestNoisyFlipRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const size = 20000
+	base := make([]geom.Label, size)
+	n := NewNoisy(NewStatic(base), 0.25, rng)
+	flips := 0
+	for i := 0; i < size; i++ {
+		l, _ := n.Probe(i)
+		if l == geom.Positive {
+			flips++
+		}
+	}
+	if frac := float64(flips) / size; frac < 0.22 || frac > 0.28 {
+		t.Errorf("flip fraction %g far from 0.25", frac)
+	}
+	if _, err := n.Probe(-1); err == nil {
+		t.Error("error not propagated")
+	}
+}
+
+func TestNoisyPanicsOnBadProb(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNoisy(NewStatic(nil), 1.5, rand.New(rand.NewSource(1)))
+}
+
+func TestInstrumented(t *testing.T) {
+	in := Instrument(labels(0, 1, 0, 1))
+	in.O.Probe(0)
+	in.O.Probe(0)
+	in.O.Probe(3)
+	if in.DistinctProbes() != 2 {
+		t.Errorf("DistinctProbes = %d, want 2", in.DistinctProbes())
+	}
+	if in.RawDraws() != 2 {
+		t.Errorf("RawDraws = %d, want 2 (cache sits above the counter)", in.RawDraws())
+	}
+	pts := []geom.LabeledPoint{{P: geom.Point{1}, Label: geom.Positive}}
+	in2 := InstrumentLabeled(pts)
+	if l, err := in2.O.Probe(0); err != nil || l != geom.Positive {
+		t.Error("InstrumentLabeled wrong")
+	}
+}
+
+func TestMajorityReducesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const size = 5000
+	truth := make([]geom.Label, size)
+	for i := range truth {
+		truth[i] = geom.Label(i % 2)
+	}
+	// A single annotator at 30% flip rate errs ~30% of the time; a
+	// 5-way majority errs ~16%; 9-way ~10%.
+	errRate := func(k int) float64 {
+		m := NewMajority(NewStatic(truth), 0.3, k, rng)
+		wrong := 0
+		for i := 0; i < size; i++ {
+			l, err := m.Probe(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l != truth[i] {
+				wrong++
+			}
+		}
+		if m.AnnotationsUsed() != size*k {
+			t.Fatalf("k=%d: annotations = %d, want %d", k, m.AnnotationsUsed(), size*k)
+		}
+		return float64(wrong) / size
+	}
+	e1, e5, e9 := errRate(1), errRate(5), errRate(9)
+	if !(e1 > e5 && e5 > e9) {
+		t.Errorf("majority voting should reduce error: %g, %g, %g", e1, e5, e9)
+	}
+	if e9 > 0.13 {
+		t.Errorf("9-way majority error %g too high", e9)
+	}
+}
+
+func TestMajorityCachesAndValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := NewMajority(NewStatic(labels(0, 1)), 0.5, 3, rng)
+	first, err := m.Probe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if l, _ := m.Probe(0); l != first {
+			t.Fatal("majority answer changed on re-probe")
+		}
+	}
+	if m.AnnotationsUsed() != 3 {
+		t.Errorf("annotations = %d, want 3 (cache must absorb re-probes)", m.AnnotationsUsed())
+	}
+	if _, err := m.Probe(99); err == nil {
+		t.Error("error not propagated")
+	}
+	if m.Len() != 2 {
+		t.Error("Len not forwarded")
+	}
+	for i, f := range []func(){
+		func() { NewMajority(NewStatic(nil), 0.5, 2, rng) },
+		func() { NewMajority(NewStatic(nil), 0.5, 0, rng) },
+		func() { NewMajority(NewStatic(nil), 1.5, 3, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

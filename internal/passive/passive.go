@@ -1,0 +1,227 @@
+// Package passive solves Problem 2 (passive weighted monotone
+// classification) in polynomial time, implementing Theorem 4 of the
+// paper: O(dn²) to build a flow network over the contending points,
+// plus one max-flow computation; the minimum cut-edge set encodes an
+// optimal monotone classifier.
+//
+// The construction (Section 5.1):
+//
+//	source --w(p)--> p        for each contending label-0 point p
+//	q --w(q)--> sink          for each contending label-1 point q
+//	p --∞--> q                for each contending pair p ⪰ q with
+//	                          label(p)=0, label(q)=1
+//
+// A minimum cut never uses an ∞ edge (Lemma 18); cutting (source, p)
+// means mis-classifying p as 1, cutting (q, sink) means mis-classifying
+// q as 0. Lemmas 16 and 17 prove the resulting assignment is monotone
+// and optimal. Non-contending points keep their own labels (Lemma 15).
+package passive
+
+import (
+	"fmt"
+	"math"
+
+	"monoclass/internal/classifier"
+	"monoclass/internal/geom"
+	"monoclass/internal/maxflow"
+)
+
+// FlowSolver is a max-flow algorithm; any of the solvers in the
+// maxflow package qualifies.
+type FlowSolver func(*maxflow.Network) maxflow.Result
+
+// Options configures Solve.
+type Options struct {
+	// Solver is the max-flow algorithm to use; Dinic when nil.
+	Solver FlowSolver
+	// Dense forces the literal Section 5.1 construction with one
+	// ∞ edge per dominating pair (Θ(n²) edges worst case). The
+	// default sparse construction (see sparse.go) is exactly
+	// equivalent but uses O(n·w) edges; Dense exists for tests and
+	// the E9 ablation.
+	Dense bool
+	// Chains optionally supplies a precomputed chain decomposition of
+	// the input points (index slices in ascending dominance order,
+	// jointly partitioning the input) for the sparse construction,
+	// saving the O(dn²)–O(n log n) decomposition when the caller
+	// already has one. Ignored when Dense is set. The decomposition
+	// need not be minimum — any valid one works; a wider one only
+	// costs edges.
+	Chains [][]int
+}
+
+// Stats reports instance measurements from a Solve call, used by the
+// experiment harness.
+type Stats struct {
+	N          int     // input points
+	Contending int     // |P^con|
+	GraphEdges int     // edges of the constructed network
+	FlowValue  float64 // max-flow value == optimal weighted error
+}
+
+// Solution is the result of solving Problem 2.
+type Solution struct {
+	// Classifier is an optimal monotone classifier, represented by its
+	// minimal positive anchors; it is total on R^d.
+	Classifier *classifier.AnchorSet
+	// WErr is the optimal weighted error w-err_P(Classifier).
+	WErr float64
+	// Assignment holds the classifier's value on each input point, in
+	// input order.
+	Assignment []geom.Label
+	// Stats carries instance measurements.
+	Stats Stats
+}
+
+// Solve computes an optimal monotone classifier for the fully-labeled
+// weighted set ws. The input must be non-empty, dimensionally
+// consistent, and carry positive finite weights.
+func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
+	if len(ws) == 0 {
+		return Solution{}, fmt.Errorf("passive: empty input set")
+	}
+	if err := ws.Validate(); err != nil {
+		return Solution{}, err
+	}
+	solver := opts.Solver
+	if solver == nil {
+		solver = maxflow.Dinic
+	}
+
+	n := len(ws)
+	// Contending points (Section 5.1): a label-0 point dominating some
+	// label-1 point, or a label-1 point dominated by some label-0
+	// point. The dense path is the paper's literal O(dn²) scan; the
+	// sparse path answers the same question through a chain index.
+	var contending []bool
+	var ci chainIndex
+	if opts.Dense {
+		contending = make([]bool, n)
+		for i := range ws {
+			if ws[i].Label != geom.Negative {
+				continue
+			}
+			for j := range ws {
+				if ws[j].Label != geom.Positive {
+					continue
+				}
+				if geom.Dominates(ws[i].P, ws[j].P) {
+					contending[i] = true
+					contending[j] = true
+				}
+			}
+		}
+	} else {
+		ci = buildChainIndex(ws, opts.Chains)
+		contending = contendingPoints(ws, &ci)
+	}
+
+	// Assignment starts as the points' own labels; only contending
+	// points can change (Lemma 15).
+	assign := make([]geom.Label, n)
+	for i := range ws {
+		assign[i] = ws[i].Label
+	}
+
+	// Vertex numbering: 0 = source, 1 = sink, contending points at 2+.
+	vertex := make([]int, n)
+	nextV := 2
+	for i := range ws {
+		if contending[i] {
+			vertex[i] = nextV
+			nextV++
+		} else {
+			vertex[i] = -1
+		}
+	}
+	numContending := nextV - 2
+
+	var flowValue float64
+	graphEdges := 0
+	if numContending > 0 {
+		const source, sink = 0, 1
+		g := maxflow.New(nextV, source, sink)
+		// edgeOwner maps edge id -> input index, for decoding the cut.
+		edgeOwner := make(map[int]int)
+		for i := range ws {
+			if !contending[i] {
+				continue
+			}
+			switch ws[i].Label {
+			case geom.Negative:
+				id := g.AddEdge(source, vertex[i], ws[i].Weight)
+				edgeOwner[id] = i
+			case geom.Positive:
+				id := g.AddEdge(vertex[i], sink, ws[i].Weight)
+				edgeOwner[id] = i
+			}
+		}
+		if opts.Dense {
+			// Literal type-3 edges: one per dominating pair.
+			for i := range ws {
+				if !contending[i] || ws[i].Label != geom.Negative {
+					continue
+				}
+				for j := range ws {
+					if !contending[j] || ws[j].Label != geom.Positive {
+						continue
+					}
+					if geom.Dominates(ws[i].P, ws[j].P) {
+						g.AddEdge(vertex[i], vertex[j], math.Inf(1))
+					}
+				}
+			}
+		} else {
+			// Sparsified reachability network (see sparse.go).
+			for _, e := range sparseInfinityEdges(ws, &ci, contending) {
+				g.AddEdge(vertex[e.from], vertex[e.to], math.Inf(1))
+			}
+		}
+		graphEdges = g.NumEdges()
+
+		res := solver(g)
+		flowValue = res.Value
+		for _, cut := range res.CutEdges() {
+			i, ok := edgeOwner[cut.ID]
+			if !ok {
+				// CutEdges already panics on ∞ edges; reaching here
+				// would mean a finite type-3 edge, which cannot exist.
+				return Solution{}, fmt.Errorf("passive: cut contains unexpected edge %d", cut.ID)
+			}
+			// Cutting a point's own edge flips its assignment.
+			assign[i] ^= 1
+		}
+	}
+
+	pts := make([]geom.Point, n)
+	for i := range ws {
+		pts[i] = ws[i].P
+	}
+	h, err := classifier.FromAssignment(pts, assign)
+	if err != nil {
+		// Lemma 16 guarantees the cut assignment is monotone; failure
+		// indicates a solver bug and must surface loudly.
+		return Solution{}, fmt.Errorf("passive: cut assignment not monotone: %w", err)
+	}
+	return Solution{
+		Classifier: h,
+		WErr:       flowValue,
+		Assignment: assign,
+		Stats: Stats{
+			N:          n,
+			Contending: numContending,
+			GraphEdges: graphEdges,
+			FlowValue:  flowValue,
+		},
+	}, nil
+}
+
+// OptimalError returns just the optimal weighted error k* of ws,
+// i.e. min over monotone h of w-err_P(h).
+func OptimalError(ws geom.WeightedSet) (float64, error) {
+	sol, err := Solve(ws, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return sol.WErr, nil
+}

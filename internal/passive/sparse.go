@@ -1,0 +1,188 @@
+package passive
+
+import (
+	"fmt"
+	"sort"
+
+	"monoclass/internal/chains"
+	"monoclass/internal/geom"
+)
+
+// The flow network of Section 5.1 nominally contains one ∞-capacity
+// edge per dominating pair (p, q) ∈ P0^con × P1^con — Θ(n²) edges on
+// adversarial inputs, which dominates both memory and max-flow time.
+// This file builds an equivalent sparse network: ∞ edges follow a
+// chain decomposition of the contending points (consecutive links
+// inside each chain, plus, for every point and every other chain, one
+// link to the highest chain member it dominates). Two facts make the
+// substitution exact:
+//
+//  1. soundness — every ∞ edge (a, b) added satisfies a ⪰ b, so any
+//     source→sink path still witnesses a dominating pair
+//     (label-0 point) ⪰ (label-1 point) by transitivity;
+//  2. completeness — if a ⪰ b then b is reachable from a through ∞
+//     edges: within a chain via consecutive links, across chains via
+//     the binary-searched link plus the target chain's internal links
+//     (the dominated set within a chain is always a prefix).
+//
+// Hence the two networks admit exactly the same source-sink cuts made
+// of finite edges, and the min cut — which never uses ∞ edges
+// (Lemma 18) — is unchanged. Edge count drops to O(n·w).
+
+// chainIndex locates points within a chain decomposition.
+type chainIndex struct {
+	dec      chains.Decomposition
+	chainOf  []int   // chain id per point index
+	posInCh  []int   // position within its chain
+	labelOne [][]int // per chain: prefix counts of label-1 members
+	labelZer [][]int // per chain: prefix counts of label-0 members
+}
+
+// buildChainIndex decomposes the points of ws into chains (or adopts
+// the caller's decomposition) and precomputes per-chain prefix label
+// counts.
+func buildChainIndex(ws geom.WeightedSet, preset [][]int) chainIndex {
+	pts := make([]geom.Point, len(ws))
+	for i := range ws {
+		pts[i] = ws[i].P
+	}
+	var dec chains.Decomposition
+	if preset != nil {
+		if err := chains.ValidateDecomposition(pts, preset); err != nil {
+			panic(fmt.Sprintf("passive: supplied decomposition invalid: %v", err))
+		}
+		dec = chains.Decomposition{Chains: preset, Width: len(preset)}
+	} else {
+		dec = chains.Decompose(pts)
+	}
+	ci := chainIndex{
+		dec:      dec,
+		chainOf:  make([]int, len(ws)),
+		posInCh:  make([]int, len(ws)),
+		labelOne: make([][]int, len(dec.Chains)),
+		labelZer: make([][]int, len(dec.Chains)),
+	}
+	for c, chain := range dec.Chains {
+		ones := make([]int, len(chain)+1)
+		zeros := make([]int, len(chain)+1)
+		for k, idx := range chain {
+			ci.chainOf[idx] = c
+			ci.posInCh[idx] = k
+			ones[k+1] = ones[k]
+			zeros[k+1] = zeros[k]
+			if ws[idx].Label == geom.Positive {
+				ones[k+1]++
+			} else {
+				zeros[k+1]++
+			}
+		}
+		ci.labelOne[c] = ones
+		ci.labelZer[c] = zeros
+	}
+	return ci
+}
+
+// dominatedPrefix returns the number of members of chain c dominated
+// by point p (they always form a prefix of the ascending chain).
+// Point p itself, when it lies in chain c, is part of that prefix
+// (a point dominates itself); callers that need strictly-other points
+// subtract it out via the label counts.
+func (ci *chainIndex) dominatedPrefix(ws geom.WeightedSet, p geom.Point, c int) int {
+	chain := ci.dec.Chains[c]
+	return sort.Search(len(chain), func(k int) bool {
+		return !geom.Dominates(p, ws[chain[k]].P)
+	})
+}
+
+// dominatingSuffix returns the start position of the members of chain
+// c that dominate point p (they always form a suffix).
+func (ci *chainIndex) dominatingSuffix(ws geom.WeightedSet, p geom.Point, c int) int {
+	chain := ci.dec.Chains[c]
+	return sort.Search(len(chain), func(k int) bool {
+		return geom.Dominates(ws[chain[k]].P, p)
+	})
+}
+
+// contendingPoints computes the contending set of Section 5.1 in
+// O(n·w·(d + log n)) time using the chain index: a label-0 point is
+// contending iff some dominated chain prefix contains a label-1
+// point; a label-1 point iff some dominating chain suffix contains a
+// label-0 point.
+func contendingPoints(ws geom.WeightedSet, ci *chainIndex) []bool {
+	out := make([]bool, len(ws))
+	for i := range ws {
+		p := ws[i].P
+		switch ws[i].Label {
+		case geom.Negative:
+			for c := range ci.dec.Chains {
+				pre := ci.dominatedPrefix(ws, p, c)
+				if ci.labelOne[c][pre] > 0 {
+					out[i] = true
+					break
+				}
+			}
+		case geom.Positive:
+			for c := range ci.dec.Chains {
+				suf := ci.dominatingSuffix(ws, p, c)
+				if ci.labelZer[c][len(ci.dec.Chains[c])]-ci.labelZer[c][suf] > 0 {
+					out[i] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sparseEdge is one ∞ edge of the sparsified reachability network.
+type sparseEdge struct{ from, to int } // point indices
+
+// sparseInfinityEdges emits the O(m·w) ∞ edges connecting the
+// contending points so that reachability equals dominance restricted
+// to the contending set.
+func sparseInfinityEdges(ws geom.WeightedSet, ci *chainIndex, contending []bool) []sparseEdge {
+	// Restrict each chain to its contending members, preserving order.
+	restricted := make([][]int, len(ci.dec.Chains))
+	for c, chain := range ci.dec.Chains {
+		for _, idx := range chain {
+			if contending[idx] {
+				restricted[c] = append(restricted[c], idx)
+			}
+		}
+	}
+	var edges []sparseEdge
+	// Consecutive links within each restricted chain (higher → lower).
+	// Coordinate-equal neighbours dominate each other in *both*
+	// directions, so they also get the forward link; without it a
+	// label-0 point could not reach its label-1 duplicate.
+	for _, chain := range restricted {
+		for k := 1; k < len(chain); k++ {
+			edges = append(edges, sparseEdge{from: chain[k], to: chain[k-1]})
+			if ws[chain[k]].P.Equal(ws[chain[k-1]].P) {
+				edges = append(edges, sparseEdge{from: chain[k-1], to: chain[k]})
+			}
+		}
+	}
+	// Cross-chain links: each contending point links to the highest
+	// contending member it dominates in every other chain.
+	for i := range ws {
+		if !contending[i] {
+			continue
+		}
+		p := ws[i].P
+		home := ci.chainOf[i]
+		for c, chain := range restricted {
+			if c == home || len(chain) == 0 {
+				continue
+			}
+			// Dominated contending members form a prefix.
+			pre := sort.Search(len(chain), func(k int) bool {
+				return !geom.Dominates(p, ws[chain[k]].P)
+			})
+			if pre > 0 {
+				edges = append(edges, sparseEdge{from: i, to: chain[pre-1]})
+			}
+		}
+	}
+	return edges
+}

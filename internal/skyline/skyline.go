@@ -1,0 +1,128 @@
+// Package skyline computes Pareto frontiers (skylines) under the
+// dominance order: the maximal or minimal points of a set. Skylines
+// are the classic database-query incarnation of dominance, and two
+// spots of this library are built on them: anchor classifiers are
+// exactly the upward closure of a minimal-point skyline, and the
+// passive solver's positive region is reported through it.
+//
+// The 2-D case runs in O(n log n) by a sort-and-sweep; the general
+// case is the standard O(d·n·s) scan (s = skyline size), quadratic
+// only when the skyline itself is.
+package skyline
+
+import (
+	"sort"
+
+	"monoclass/internal/geom"
+)
+
+// Minimal returns the indices of the minimal points of pts: those not
+// strictly dominating any other point... precisely, p is minimal when
+// no q (distinct as a point; duplicates count as one) is strictly
+// below it. Coordinate-equal duplicates are reported once (smallest
+// index). Indices are returned in increasing order.
+func Minimal(pts []geom.Point) []int {
+	if len(pts) == 0 {
+		return nil
+	}
+	if len(pts[0]) == 2 {
+		return minimal2D(pts)
+	}
+	return minimalGeneric(pts)
+}
+
+// Maximal returns the indices of the maximal points of pts (the
+// classic skyline): those not strictly dominated by any other point,
+// duplicates reported once. Indices are returned in increasing order.
+func Maximal(pts []geom.Point) []int {
+	if len(pts) == 0 {
+		return nil
+	}
+	neg := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		q := make(geom.Point, len(p))
+		for k, v := range p {
+			q[k] = -v
+		}
+		neg[i] = q
+	}
+	return Minimal(neg)
+}
+
+// minimalGeneric is the dimension-agnostic scan.
+func minimalGeneric(pts []geom.Point) []int {
+	var out []int
+	for i, p := range pts {
+		minimal := true
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.Equal(p) {
+				if j < i {
+					minimal = false // duplicate reported at j
+					break
+				}
+				continue
+			}
+			if geom.Dominates(p, q) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// minimal2D sorts by (x asc, y asc, index asc) and sweeps: a point is
+// minimal iff its y is strictly below every earlier point's minimum y
+// — with care for duplicates and equal-x runs.
+func minimal2D(pts []geom.Point) []int {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		if pa[1] != pb[1] {
+			return pa[1] < pb[1]
+		}
+		return order[a] < order[b]
+	})
+	var out []int
+	bestY := 0.0
+	haveBest := false
+	var lastKept geom.Point
+	for _, idx := range order {
+		p := pts[idx]
+		if haveBest {
+			if lastKept.Equal(p) {
+				continue // duplicate of a kept point: report once
+			}
+			if p[1] >= bestY {
+				continue // dominates some earlier kept point
+			}
+		}
+		out = append(out, idx)
+		bestY = p[1]
+		haveBest = true
+		lastKept = p
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Filter returns the subset of pts selected by idxs.
+func Filter(pts []geom.Point, idxs []int) []geom.Point {
+	out := make([]geom.Point, len(idxs))
+	for i, idx := range idxs {
+		out[i] = pts[idx]
+	}
+	return out
+}

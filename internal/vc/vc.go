@@ -1,0 +1,77 @@
+// Package vc computes learning-theoretic quantities of the monotone
+// classifier family H_mono on a finite point set, connecting the
+// implementation to the Section 1.2 discussion: the probing cost of
+// the A²-style algorithms is governed by the VC dimension λ and the
+// disagreement coefficient θ of H_mono on P, both of which are Ω(w).
+// On a finite set the first relation is exact:
+//
+//	VCdim(H_mono, P) = dominance width of P,
+//
+// because a subset is shatterable iff it is an antichain: a dominance
+// pair p ⪰ q kills the labeling (h(p), h(q)) = (0, 1), while any
+// labeling of an antichain extends monotonically by anchoring the
+// positive members.
+package vc
+
+import (
+	"monoclass/internal/chains"
+	"monoclass/internal/classifier"
+	"monoclass/internal/geom"
+)
+
+// Shatterable reports whether the subset of pts selected by idxs is
+// shattered by H_mono, i.e. every one of the 2^k labelings is realized
+// by some monotone classifier. By the antichain characterization this
+// is an O(d·k²) pairwise check.
+func Shatterable(pts []geom.Point, idxs []int) bool {
+	for a := 0; a < len(idxs); a++ {
+		for b := a + 1; b < len(idxs); b++ {
+			if geom.Comparable(pts[idxs[a]], pts[idxs[b]]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ShatterableBrute verifies shatterability from first principles: for
+// each of the 2^k labelings it asks whether a monotone classifier
+// realizes it on the selected points (exponential; tests use it to
+// validate the antichain characterization). It refuses subsets larger
+// than 20.
+func ShatterableBrute(pts []geom.Point, idxs []int) bool {
+	k := len(idxs)
+	if k > 20 {
+		panic("vc: brute-force shattering limited to 20 points")
+	}
+	if k == 0 {
+		return true
+	}
+	sub := make([]geom.Point, k)
+	for i, idx := range idxs {
+		sub[i] = pts[idx]
+	}
+	for mask := 0; mask < 1<<k; mask++ {
+		assign := make([]geom.Label, k)
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				assign[i] = geom.Positive
+			}
+		}
+		// A labeling is achievable iff it is monotone-consistent on
+		// the subset, in which case the anchor extension realizes it.
+		if _, err := classifier.FromAssignment(sub, assign); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Dimension returns VCdim(H_mono, P): the size of the largest
+// shatterable subset of pts, which equals the dominance width. The
+// maximum antichain produced by the chain decomposition is the witness
+// subset.
+func Dimension(pts []geom.Point) (dim int, witness []int) {
+	dec := chains.Decompose(pts)
+	return dec.Width, dec.Antichain
+}

@@ -1,0 +1,124 @@
+package vc
+
+import (
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/dataset"
+	"monoclass/internal/geom"
+)
+
+func TestShatterableBasics(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {1, 1}, {0, 2}, {2, 0}}
+	if Shatterable(pts, []int{0, 1}) {
+		t.Error("a comparable pair must not be shatterable")
+	}
+	if !Shatterable(pts, []int{2, 3}) {
+		t.Error("an incomparable pair must be shatterable")
+	}
+	if !Shatterable(pts, []int{1}) || !Shatterable(pts, nil) {
+		t.Error("singletons and the empty set are trivially shatterable")
+	}
+}
+
+// The antichain characterization must agree with first-principles
+// shattering on random subsets.
+func TestShatterableMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(8)
+		d := 1 + rng.Intn(3)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			p := make(geom.Point, d)
+			for k := range p {
+				p[k] = float64(rng.Intn(4))
+			}
+			pts[i] = p
+		}
+		k := 1 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		idxs := rng.Perm(n)[:k]
+		fast := Shatterable(pts, idxs)
+		brute := ShatterableBrute(pts, idxs)
+		if fast != brute {
+			t.Fatalf("trial %d: antichain says %v, brute force says %v (pts %v idxs %v)",
+				trial, fast, brute, pts, idxs)
+		}
+	}
+}
+
+func TestShatterableBruteLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ShatterableBrute(make([]geom.Point, 25), make([]int, 25))
+}
+
+// VC dimension equals the dominance width, with the antichain as the
+// shattered witness — on the paper's own Figure 1, dimension 6.
+func TestDimensionOnFigure1(t *testing.T) {
+	lab := dataset.Figure1()
+	pts := make([]geom.Point, len(lab))
+	for i, lp := range lab {
+		pts[i] = lp.P
+	}
+	dim, witness := Dimension(pts)
+	if dim != 6 {
+		t.Errorf("VC dimension = %d, want 6 (the dominance width)", dim)
+	}
+	if len(witness) != dim {
+		t.Errorf("witness size %d != dimension %d", len(witness), dim)
+	}
+	if !Shatterable(pts, witness) {
+		t.Error("witness is not shatterable")
+	}
+	if !ShatterableBrute(pts, witness) {
+		t.Error("witness fails first-principles shattering")
+	}
+}
+
+// No subset larger than the reported dimension is shatterable
+// (verified exhaustively on small instances).
+func TestDimensionIsMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(7)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{float64(rng.Intn(4)), float64(rng.Intn(4))}
+		}
+		dim, witness := Dimension(pts)
+		if !Shatterable(pts, witness) {
+			t.Fatalf("trial %d: witness not shatterable", trial)
+		}
+		// Exhaust all subsets of size dim+1.
+		var idxs []int
+		var rec func(start int)
+		found := false
+		rec = func(start int) {
+			if found {
+				return
+			}
+			if len(idxs) == dim+1 {
+				if Shatterable(pts, idxs) {
+					found = true
+				}
+				return
+			}
+			for i := start; i < n; i++ {
+				idxs = append(idxs, i)
+				rec(i + 1)
+				idxs = idxs[:len(idxs)-1]
+			}
+		}
+		rec(0)
+		if found {
+			t.Fatalf("trial %d: found shatterable subset larger than reported dimension %d", trial, dim)
+		}
+	}
+}

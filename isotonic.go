@@ -1,0 +1,23 @@
+package monoclass
+
+import "monoclass/internal/isotonic"
+
+// IsotonicPoint is one observation for isotonic regression: position
+// X, response Y, positive weight W.
+type IsotonicPoint = isotonic.Point
+
+// FitIsotonicL2 computes the non-decreasing fit minimizing the
+// weighted squared loss (classic PAVA). Returned slices are aligned
+// and sorted by X.
+func FitIsotonicL2(pts []IsotonicPoint) (xs, fitted []float64, err error) {
+	return isotonic.FitL2(pts)
+}
+
+// FitIsotonicL1 computes the non-decreasing fit minimizing the
+// weighted absolute loss (median-pooling PAVA). On binary responses
+// with distinct positions its loss equals BestThreshold1D's optimal
+// weighted error — 1-D monotone classification is L1 isotonic
+// regression in disguise.
+func FitIsotonicL1(pts []IsotonicPoint) (xs, fitted []float64, err error) {
+	return isotonic.FitL1(pts)
+}

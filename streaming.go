@@ -1,0 +1,43 @@
+package monoclass
+
+import (
+	"math/rand"
+
+	"monoclass/internal/obst"
+)
+
+// StreamingThreshold maintains the optimal 1-D monotone threshold over
+// a stream of weighted labeled observations, in O(log n) per update —
+// the augmented-BST construction of the paper's footnote 2. Use it
+// when labels arrive incrementally (e.g. as annotators return
+// judgments) and the current best cutoff must stay queryable at all
+// times.
+type StreamingThreshold struct {
+	tree *obst.ThresholdTree
+}
+
+// NewStreamingThreshold creates an empty streaming optimizer; rng
+// drives internal balancing only (results are identical for any seed,
+// performance is expected-logarithmic).
+func NewStreamingThreshold(rng *rand.Rand) *StreamingThreshold {
+	return &StreamingThreshold{tree: obst.New(rng)}
+}
+
+// Observe adds one weighted labeled value to the stream.
+func (s *StreamingThreshold) Observe(x float64, label Label, weight float64) {
+	s.tree.Insert(x, label, weight)
+}
+
+// Best returns the currently optimal threshold classifier and its
+// weighted error on everything observed so far.
+func (s *StreamingThreshold) Best() (Threshold1D, float64) {
+	tau, werr := s.tree.Best()
+	return Threshold1D{Tau: tau}, werr
+}
+
+// Err evaluates the weighted error of an arbitrary threshold on the
+// observations so far, in O(log n).
+func (s *StreamingThreshold) Err(tau float64) float64 { return s.tree.Err(tau) }
+
+// Len returns the number of distinct observed values.
+func (s *StreamingThreshold) Len() int { return s.tree.Len() }
