@@ -1,0 +1,41 @@
+# Developer entry points for the monoclass reproduction.
+#
+#   make check           build + vet + full test suite
+#   make race            race-detector pass over internal packages
+#   make bench-domkernel regenerate BENCH_domkernel.json (kernel vs scalar)
+#   make verify          everything CI gates on, in order
+
+GO ?= go
+
+.PHONY: all build vet test race bench-domkernel verify clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+check: build vet test
+
+race:
+	$(GO) test -race ./internal/...
+
+# Machine-readable before/after numbers for the bit-packed dominance
+# kernel (cmd/benchtab -domkernel). Takes ~30s; add QUICK=1 for a
+# seconds-scale smoke run that overwrites nothing.
+bench-domkernel:
+ifdef QUICK
+	$(GO) run ./cmd/benchtab -domkernel /tmp/BENCH_domkernel.quick.json -seed 42 -quick
+else
+	$(GO) run ./cmd/benchtab -domkernel BENCH_domkernel.json -seed 42
+endif
+
+verify: build vet test race bench-domkernel
+
+clean:
+	$(GO) clean ./...

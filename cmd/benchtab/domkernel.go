@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"monoclass/internal/chains"
+	"monoclass/internal/domgraph"
+	"monoclass/internal/geom"
+)
+
+// domKernelResult is one timed benchmark in the -domkernel report.
+type domKernelResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// domKernelReport is the machine-readable output of -domkernel. The
+// speedup fields are what CI gates on: the bit-packed kernel must beat
+// its scalar baseline by the factor recorded in DESIGN.md.
+type domKernelReport struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	NumCPU      int                `json:"num_cpu"`
+	N           int                `json:"n"`
+	D           int                `json:"d"`
+	Seed        int64              `json:"seed"`
+	Benchmarks  []domKernelResult  `json:"benchmarks"`
+	Speedups    map[string]float64 `json:"speedups"`
+}
+
+// timeIt runs fn repeatedly until minTime has elapsed (at least
+// minIters times) and returns the measured cost per call.
+func timeIt(minTime time.Duration, minIters int, fn func()) domKernelResult {
+	fn() // warm up caches and the allocator before timing
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < minTime || iters < minIters {
+		fn()
+		iters++
+	}
+	elapsed := time.Since(start)
+	return domKernelResult{
+		Iterations: iters,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(iters),
+	}
+}
+
+// runDomKernelBench times the bit-packed dominance kernel against its
+// scalar baselines on the acceptance workload (n=4096, d=4 — or a
+// reduced grid under -quick) and writes the JSON report to path.
+func runDomKernelBench(path string, seed int64, quick bool) error {
+	n, d := 4096, 4
+	minTime, minIters := 2*time.Second, 3
+	if quick {
+		n = 512
+		minTime, minIters = 200*time.Millisecond, 2
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for k := range p {
+			p[k] = float64(rng.Intn(64))
+		}
+		pts[i] = p
+	}
+
+	report := domKernelReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		N:           n,
+		D:           d,
+		Seed:        seed,
+		Speedups:    make(map[string]float64),
+	}
+
+	add := func(name string, fn func()) domKernelResult {
+		r := timeIt(minTime, minIters, fn)
+		r.Name = name
+		report.Benchmarks = append(report.Benchmarks, r)
+		fmt.Printf("%-32s %10d ns/op  (%d iters)\n", name, int64(r.NsPerOp), r.Iterations)
+		return r
+	}
+
+	buildScalar := add("DominanceKernel/scalar", func() { domgraph.BuildNaive(pts) })
+	buildBitset := add("DominanceKernel/bitset", func() { domgraph.Build(pts) })
+	report.Speedups["dominance_kernel"] = buildScalar.NsPerOp / buildBitset.NsPerOp
+
+	decScalar := add("DecomposeGeneric/scalar", func() { chains.DecomposeGenericScalar(pts) })
+	decBitset := add("DecomposeGeneric/bitset", func() { chains.DecomposeGeneric(pts) })
+	report.Speedups["decompose_generic"] = decScalar.NsPerOp / decBitset.NsPerOp
+
+	fmt.Printf("speedup dominance_kernel:  %.2fx\n", report.Speedups["dominance_kernel"])
+	fmt.Printf("speedup decompose_generic: %.2fx\n", report.Speedups["decompose_generic"])
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

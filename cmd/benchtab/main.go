@@ -5,9 +5,13 @@
 // Usage:
 //
 //	benchtab [-quick] [-seed N] [-only E1,E4,F1]
+//	benchtab -domkernel FILE
 //
 // The full run takes a few minutes; -quick shrinks workloads to
-// seconds for smoke testing.
+// seconds for smoke testing. -domkernel skips the experiment tables
+// and instead times the bit-packed dominance kernel against its scalar
+// baselines, writing a machine-readable JSON report to FILE (see
+// runDomKernelBench).
 package main
 
 import (
@@ -24,7 +28,16 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale workloads")
 	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	domkernel := flag.String("domkernel", "", "write dominance-kernel benchmark JSON to this file and exit")
 	flag.Parse()
+
+	if *domkernel != "" {
+		if err := runDomKernelBench(*domkernel, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	ids := experiments.IDs()

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"monoclass/internal/chains"
+	"monoclass/internal/domgraph"
 	"monoclass/internal/geom"
 	"monoclass/internal/passive"
 )
@@ -105,17 +106,25 @@ func Audit(ws geom.WeightedSet) (Report, error) {
 		}
 	}
 
-	// Violations.
-	lab := make([]geom.LabeledPoint, len(ws))
+	// Violations and structure, via the shared bit-packed dominance
+	// kernel: one parallel matrix build serves the popcount violation
+	// count and (for d >= 3) the chain decomposition; dimensions 1 and
+	// 2 keep their O(n log n) decomposition fast paths.
 	pts := make([]geom.Point, len(ws))
+	labels := make([]geom.Label, len(ws))
 	for i, wp := range ws {
-		lab[i] = geom.LabeledPoint{P: wp.P, Label: wp.Label}
 		pts[i] = wp.P
+		labels[i] = wp.Label
 	}
-	r.ViolationPairs = geom.MonotoneViolations(lab)
+	m := domgraph.Build(pts)
+	r.ViolationPairs = m.CountViolations(labels)
 
-	// Structure.
-	dec := chains.Decompose(pts)
+	var dec chains.Decomposition
+	if ws.Dim() >= 3 {
+		dec = chains.DecomposeMatrix(pts, m)
+	} else {
+		dec = chains.Decompose(pts)
+	}
 	r.Width = dec.Width
 	r.ChainLenMin, r.ChainLenMax = len(ws), 0
 	for _, c := range dec.Chains {

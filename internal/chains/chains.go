@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"monoclass/internal/domgraph"
 	"monoclass/internal/geom"
 	"monoclass/internal/matching"
 )
@@ -36,20 +37,12 @@ type Decomposition struct {
 }
 
 // dominanceEdge reports whether the DAG has the edge i -> j, meaning
-// point i sits above point j. Coordinate-equal points are ordered by
-// index so duplicates chain up rather than forming cycles; the relation
-// stays transitive.
+// point i sits above point j. The tiebreak for coordinate-equal
+// points (duplicates chain up by index rather than forming cycles) is
+// defined once, in the dominance kernel, and shared with the
+// bit-packed builder.
 func dominanceEdge(pts []geom.Point, i, j int) bool {
-	if i == j {
-		return false
-	}
-	if !geom.Dominates(pts[i], pts[j]) {
-		return false
-	}
-	if pts[i].Equal(pts[j]) {
-		return i > j
-	}
-	return true
+	return domgraph.DominanceEdge(pts, i, j)
 }
 
 // Decompose computes a minimum chain decomposition of pts together
@@ -72,17 +65,89 @@ func Decompose(pts []geom.Point) Decomposition {
 
 // DecomposeGeneric is the Lemma 6 construction for any dimension:
 // dominance DAG, minimum path cover via Hopcroft–Karp, maximum
-// antichain via König. It runs in O(dn² + n^2.5) time and O(n²)
-// space.
+// antichain via König. The DAG is built as a bit-packed matrix by the
+// domgraph kernel (parallel, 64 pairs per word op) and the matching
+// runs directly on the packed rows; the asymptotics stay
+// O(dn² + n^2.5) time and O(n²) bits of space, with the constant cut
+// by the word width.
 func DecomposeGeneric(pts []geom.Point) Decomposition {
-	n := len(pts)
+	if len(pts) == 0 {
+		return Decomposition{}
+	}
+	return DecomposeMatrix(pts, domgraph.Build(pts))
+}
+
+// DecomposeMatrix is DecomposeGeneric on a prebuilt dominance matrix,
+// for callers (passive, audit) that reuse one kernel build across
+// several stages. m must have been built from pts.
+func DecomposeMatrix(pts []geom.Point, m *domgraph.Matrix) Decomposition {
+	n := m.N()
+	if n != len(pts) {
+		panic(fmt.Sprintf("chains: matrix covers %d points, input has %d", n, len(pts)))
+	}
 	if n == 0 {
 		return Decomposition{}
 	}
 
 	// Bipartite reduction for minimum path cover: left copy u matched
 	// to right copy v encodes using DAG edge u -> v (u directly above v
-	// in its chain). Cover size = n - |matching|.
+	// in its chain). Cover size = n - |matching|. The kernel's DAG
+	// rows are adopted as the packed adjacency without copying.
+	b := matching.BitsetFromRows(n, n, m.DAGBits())
+	mm := matching.MaxMatchingBitset(b)
+
+	// Walk chains from their maximal elements (right copies left
+	// unmatched: nothing sits above them).
+	chains := make([][]int, 0, n-mm.Size)
+	for v := 0; v < n; v++ {
+		if mm.MatchRight[v] != -1 {
+			continue // some point sits directly above v
+		}
+		var desc []int
+		for u := v; u != -1; u = mm.MatchLeft[u] {
+			desc = append(desc, u)
+		}
+		// desc runs top-down; chains are reported in ascending order.
+		for l, r := 0, len(desc)-1; l < r; l, r = l+1, r-1 {
+			desc[l], desc[r] = desc[r], desc[l]
+		}
+		chains = append(chains, desc)
+	}
+	if len(chains) != n-mm.Size {
+		panic(fmt.Sprintf("chains: built %d chains, expected %d", len(chains), n-mm.Size))
+	}
+
+	// König: complement of a minimum vertex cover is a maximum
+	// independent set; a point outside the cover on both sides has no
+	// incident DAG edge inside the independent set, i.e. the selected
+	// points are pairwise incomparable — a maximum antichain.
+	coverL, coverR := matching.MinVertexCoverBitset(b, mm)
+	var anti []int
+	for i := 0; i < n; i++ {
+		if !coverL[i] && !coverR[i] {
+			anti = append(anti, i)
+		}
+	}
+	if len(anti) != len(chains) {
+		panic(fmt.Sprintf("chains: antichain size %d != chain count %d", len(anti), len(chains)))
+	}
+	if !m.IsAntichain(anti) {
+		panic("chains: extracted certificate is not an antichain")
+	}
+	sort.Ints(anti)
+	return Decomposition{Chains: chains, Width: len(chains), Antichain: anti}
+}
+
+// DecomposeGenericScalar is the pre-kernel Lemma 6 construction —
+// adjacency lists built with one scalar dominance test per ordered
+// pair, slice-based Hopcroft–Karp. It is kept as the cross-check
+// oracle for the kernel path (tests assert identical widths and valid
+// certificates) and as the baseline of BenchmarkDecomposeGeneric.
+func DecomposeGenericScalar(pts []geom.Point) Decomposition {
+	n := len(pts)
+	if n == 0 {
+		return Decomposition{}
+	}
 	b := matching.NewBipartite(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -93,18 +158,15 @@ func DecomposeGeneric(pts []geom.Point) Decomposition {
 	}
 	m := matching.MaxMatching(b)
 
-	// Walk chains from their maximal elements (right copies left
-	// unmatched: nothing sits above them).
 	chains := make([][]int, 0, n-m.Size)
 	for v := 0; v < n; v++ {
 		if m.MatchRight[v] != -1 {
-			continue // some point sits directly above v
+			continue
 		}
 		var desc []int
 		for u := v; u != -1; u = m.MatchLeft[u] {
 			desc = append(desc, u)
 		}
-		// desc runs top-down; chains are reported in ascending order.
 		for l, r := 0, len(desc)-1; l < r; l, r = l+1, r-1 {
 			desc[l], desc[r] = desc[r], desc[l]
 		}
@@ -114,10 +176,6 @@ func DecomposeGeneric(pts []geom.Point) Decomposition {
 		panic(fmt.Sprintf("chains: built %d chains, expected %d", len(chains), n-m.Size))
 	}
 
-	// König: complement of a minimum vertex cover is a maximum
-	// independent set; a point outside the cover on both sides has no
-	// incident DAG edge inside the independent set, i.e. the selected
-	// points are pairwise incomparable — a maximum antichain.
 	coverL, coverR := matching.MinVertexCover(b, m)
 	var anti []int
 	for i := 0; i < n; i++ {

@@ -15,10 +15,10 @@ import (
 // own rand.Rand seeded from the master generator before any goroutine
 // starts, and Σ parts are concatenated in chain order.
 //
-// The shared oracle is serialized behind a mutex (implementations
-// such as the counting and caching wrappers are not safe for
-// concurrent use); the parallel win comes from the CPU work around
-// probing — sampling, sorting, and the per-level bookkeeping.
+// Oracle stacks that advertise concurrency safety (see
+// oracle.ConcurrentSafe — the standard static/counting/caching stack
+// qualifies) are probed directly from all workers; anything else is
+// serialized behind a mutex as a conservative fallback.
 func runChainsParallel(o oracle.Oracle, chainSets [][]int, par Params, rng *rand.Rand) ([]WeightedLabel, error) {
 	// Derive per-chain seeds up front so the master generator is
 	// consumed identically whatever the worker count.
@@ -27,7 +27,10 @@ func runChainsParallel(o oracle.Oracle, chainSets [][]int, par Params, rng *rand
 		seeds[i] = rng.Int63()
 	}
 
-	locked := &lockedOracle{inner: o}
+	shared := o
+	if !oracle.IsConcurrentSafe(o) {
+		shared = &lockedOracle{inner: o}
+	}
 	parts := make([][]WeightedLabel, len(chainSets))
 	errs := make([]error, len(chainSets))
 
@@ -50,7 +53,7 @@ func runChainsParallel(o oracle.Oracle, chainSets [][]int, par Params, rng *rand
 				for i := range chain {
 					keys[i] = float64(i) // chain position is the 1-D axis
 				}
-				parts[c], errs[c] = Run1D(locked, chain, keys, par, rand.New(rand.NewSource(seeds[c])))
+				parts[c], errs[c] = Run1D(shared, chain, keys, par, rand.New(rand.NewSource(seeds[c])))
 			}
 		}()
 	}

@@ -57,6 +57,28 @@ func TestActiveLearnParallelWithStatefulOracle(t *testing.T) {
 	}
 }
 
+// An oracle stack that does not advertise concurrency safety (Noisy
+// keeps an unguarded rng and map) must still work through the parallel
+// fan-out: runChainsParallel wraps it in lockedOracle. The race
+// detector proves the fallback actually serializes.
+func TestActiveLearnParallelUnsafeOracleFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lab := dataset.WidthControlled(rng, dataset.WidthParams{N: 4000, W: 10, Noise: 0})
+	pts := make([]geom.Point, len(lab))
+	truth := make([]geom.Label, len(lab))
+	for i, lp := range lab {
+		pts[i] = lp.P
+		truth[i] = lp.Label
+	}
+	noisy := oracle.NewNoisy(oracle.NewStatic(truth), 0.05, rand.New(rand.NewSource(12)))
+	if oracle.IsConcurrentSafe(noisy) {
+		t.Fatal("Noisy must not advertise concurrency safety")
+	}
+	if _, err := ActiveLearn(pts, noisy, PracticalParams(1, 0.05), rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLockedOracleConcurrency(t *testing.T) {
 	labels := make([]geom.Label, 100)
 	counting := oracle.NewCounting(oracle.NewStatic(labels))

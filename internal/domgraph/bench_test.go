@@ -1,0 +1,40 @@
+package domgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+func benchPoints(n, d int) []geom.Point {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for k := range p {
+			p[k] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// BenchmarkDominanceKernel compares the scalar reference builder with
+// the bit-packed parallel builder at the acceptance scale (n=4096,
+// d=4). cmd/benchtab -domkernel records the same comparison as JSON.
+func BenchmarkDominanceKernel(b *testing.B) {
+	pts := benchPoints(4096, 4)
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			BuildNaive(pts)
+		}
+	})
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Build(pts)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package domgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+// randomPoints draws n points in d dimensions from a small integer
+// grid so that dominance relations, ties, and exact duplicates all
+// occur with non-trivial probability.
+func randomPoints(rng *rand.Rand, n, d, gridSide int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for k := range p {
+			p[k] = float64(rng.Intn(gridSide))
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestBuildMatchesNaivePairwise is the kernel's ground-truth property
+// test: every bit of the parallel pruned build must match a scalar
+// geom.Dominates / DominanceEdge evaluation, across dimensions and
+// with duplicate points present.
+func TestBuildMatchesNaivePairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(120)
+			grid := 2 + rng.Intn(4) // tiny grid => many duplicates
+			pts := randomPoints(rng, n, d, grid)
+			m := Build(pts)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					wantDom := geom.Dominates(pts[i], pts[j])
+					if got := m.Dominates(i, j); got != wantDom {
+						t.Fatalf("d=%d n=%d: Dominates(%d,%d)=%v, want %v (p=%v q=%v)",
+							d, n, i, j, got, wantDom, pts[i], pts[j])
+					}
+					wantEdge := DominanceEdge(pts, i, j)
+					if got := m.Edge(i, j); got != wantEdge {
+						t.Fatalf("d=%d n=%d: Edge(%d,%d)=%v, want %v (p=%v q=%v)",
+							d, n, i, j, got, wantEdge, pts[i], pts[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildMatchesBuildNaive checks the two builders bit-for-bit,
+// including at worker counts that do not divide the row count.
+func TestBuildMatchesBuildNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 63, 64, 65, 200, 513} {
+		pts := randomPoints(rng, n, 3, 5)
+		want := BuildNaive(pts)
+		for _, workers := range []int{1, 2, 3, 7} {
+			got := build(pts, workers)
+			if got.n != want.n || got.words != want.words {
+				t.Fatalf("n=%d workers=%d: shape (%d,%d) != (%d,%d)",
+					n, workers, got.n, got.words, want.n, want.words)
+			}
+			for w := range want.dom {
+				if got.dom[w] != want.dom[w] {
+					t.Fatalf("n=%d workers=%d: dom word %d: %#x != %#x", n, workers, w, got.dom[w], want.dom[w])
+				}
+				if got.dag[w] != want.dag[w] {
+					t.Fatalf("n=%d workers=%d: dag word %d: %#x != %#x", n, workers, w, got.dag[w], want.dag[w])
+				}
+			}
+		}
+	}
+}
+
+// TestDAGAcyclicOnDuplicates: coordinate-equal points must chain by
+// index, never both directions.
+func TestDAGAcyclicOnDuplicates(t *testing.T) {
+	pts := []geom.Point{{1, 1}, {1, 1}, {1, 1}, {0, 2}}
+	m := Build(pts)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			if !m.Dominates(i, j) {
+				t.Fatalf("duplicate pair (%d,%d) must mutually dominate", i, j)
+			}
+			if m.Edge(i, j) != (i > j) {
+				t.Fatalf("Edge(%d,%d)=%v, want index tiebreak %v", i, j, m.Edge(i, j), i > j)
+			}
+		}
+	}
+	if m.Edge(0, 3) || m.Edge(3, 0) {
+		t.Fatal("incomparable points must have no DAG edge")
+	}
+}
+
+func TestCountViolationsMatchesGeom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(150)
+		pts := randomPoints(rng, n, d, 3)
+		lab := make([]geom.LabeledPoint, n)
+		labels := make([]geom.Label, n)
+		for i := range lab {
+			labels[i] = geom.Label(rng.Intn(2))
+			lab[i] = geom.LabeledPoint{P: pts[i], Label: labels[i]}
+		}
+		m := Build(pts)
+		if got, want := m.CountViolations(labels), geom.MonotoneViolations(lab); got != want {
+			t.Fatalf("trial %d: CountViolations %d != MonotoneViolations %d", trial, got, want)
+		}
+	}
+}
+
+// violationPartiesNaive is the dense O(n²) contending-set scan of
+// passive.Solve's Dense path, kept here as the oracle.
+func violationPartiesNaive(pts []geom.Point, labels []geom.Label) []bool {
+	out := make([]bool, len(pts))
+	for i := range pts {
+		if labels[i] != geom.Negative {
+			continue
+		}
+		for j := range pts {
+			if labels[j] != geom.Positive {
+				continue
+			}
+			if geom.Dominates(pts[i], pts[j]) {
+				out[i] = true
+				out[j] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestViolationPartiesMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(150)
+		pts := randomPoints(rng, n, d, 3)
+		labels := make([]geom.Label, n)
+		for i := range labels {
+			labels[i] = geom.Label(rng.Intn(2))
+		}
+		m := Build(pts)
+		got := m.ViolationParties(labels)
+		want := violationPartiesNaive(pts, labels)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: point %d contending=%v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIsAntichain(t *testing.T) {
+	pts := []geom.Point{{0, 3}, {1, 2}, {2, 1}, {3, 0}, {3, 3}, {1, 2}}
+	m := Build(pts)
+	if !m.IsAntichain([]int{0, 1, 2, 3}) {
+		t.Fatal("staircase must be an antichain")
+	}
+	if m.IsAntichain([]int{0, 4}) {
+		t.Fatal("(0,3) vs (3,3) are comparable")
+	}
+	if m.IsAntichain([]int{1, 5}) {
+		t.Fatal("duplicate points are comparable")
+	}
+	if m.IsAntichain([]int{2, 2}) {
+		t.Fatal("repeated index is not an antichain")
+	}
+	if !m.IsAntichain(nil) || !m.IsAntichain([]int{4}) {
+		t.Fatal("empty and singleton sets are antichains")
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	pts := []geom.Point{{0}, {1}, {2}}
+	m := Build(pts)
+	// Total order: edges 2->1, 2->0, 1->0.
+	if got := m.CountEdges(); got != 3 {
+		t.Fatalf("CountEdges = %d, want 3", got)
+	}
+}

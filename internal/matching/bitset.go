@@ -1,0 +1,215 @@
+package matching
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BitsetBipartite is a bipartite graph whose left-side adjacency is a
+// packed bit matrix: row u holds one bit per right vertex. It is the
+// dense-graph companion of Bipartite, built for the chain
+// decomposition's dominance DAG, where the adjacency is produced as a
+// bit matrix by the domgraph kernel and materializing O(n²) adjacency
+// lists would dwarf every other cost.
+type BitsetBipartite struct {
+	nLeft, nRight int
+	words         int // words per row: ceil(nRight/64)
+	adj           []uint64
+}
+
+// NewBitsetBipartite creates an empty packed bipartite graph.
+func NewBitsetBipartite(nLeft, nRight int) *BitsetBipartite {
+	if nLeft < 0 || nRight < 0 {
+		panic(fmt.Sprintf("matching: negative vertex count (%d, %d)", nLeft, nRight))
+	}
+	words := (nRight + 63) / 64
+	return &BitsetBipartite{nLeft: nLeft, nRight: nRight, words: words, adj: make([]uint64, nLeft*words)}
+}
+
+// BitsetFromRows adopts a flat row-major adjacency bitset (nLeft rows
+// of ceil(nRight/64) words) without copying; the caller must not
+// mutate it while the graph is in use. Bits at positions >= nRight
+// within a row's tail word must be zero.
+func BitsetFromRows(nLeft, nRight int, rows []uint64) *BitsetBipartite {
+	words := (nRight + 63) / 64
+	if len(rows) != nLeft*words {
+		panic(fmt.Sprintf("matching: adjacency has %d words, want %d×%d", len(rows), nLeft, words))
+	}
+	return &BitsetBipartite{nLeft: nLeft, nRight: nRight, words: words, adj: rows}
+}
+
+// SetEdge adds the edge (u, v); setting it twice is harmless.
+func (b *BitsetBipartite) SetEdge(u, v int) {
+	if u < 0 || u >= b.nLeft {
+		panic(fmt.Sprintf("matching: left vertex %d out of range [0,%d)", u, b.nLeft))
+	}
+	if v < 0 || v >= b.nRight {
+		panic(fmt.Sprintf("matching: right vertex %d out of range [0,%d)", v, b.nRight))
+	}
+	b.adj[u*b.words+v>>6] |= 1 << uint(v&63)
+}
+
+// HasEdge reports whether the edge (u, v) is present.
+func (b *BitsetBipartite) HasEdge(u, v int) bool {
+	return b.adj[u*b.words+v>>6]>>(uint(v)&63)&1 == 1
+}
+
+// NumLeft returns the number of left vertices.
+func (b *BitsetBipartite) NumLeft() int { return b.nLeft }
+
+// NumRight returns the number of right vertices.
+func (b *BitsetBipartite) NumRight() int { return b.nRight }
+
+func (b *BitsetBipartite) row(u int) []uint64 {
+	return b.adj[u*b.words : (u+1)*b.words]
+}
+
+// MaxMatchingBitset is Hopcroft–Karp over the packed adjacency. The
+// phase structure (and therefore the O(√V) phase bound) is identical
+// to MaxMatching; the BFS layering additionally keeps an
+// unvisited-right bitset so each row scan is one AND per word and
+// every right vertex is expanded at most once per phase, making a BFS
+// O(V²/64) instead of O(E).
+func MaxMatchingBitset(b *BitsetBipartite) Matching {
+	matchL := make([]int, b.nLeft)
+	matchR := make([]int, b.nRight)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, b.nLeft)
+	queue := make([]int, 0, b.nLeft)
+	unvis := make([]uint64, b.words)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < b.nLeft; u++ {
+			if matchL[u] == unmatched {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		for w := range unvis {
+			unvis[w] = ^uint64(0)
+		}
+		if tail := b.nRight & 63; tail != 0 && b.words > 0 {
+			unvis[b.words-1] = 1<<uint(tail) - 1
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			row := b.row(u)
+			for w, bitsW := range row {
+				cand := bitsW & unvis[w]
+				if cand == 0 {
+					continue
+				}
+				unvis[w] &^= cand
+				for cand != 0 {
+					v := w<<6 + bits.TrailingZeros64(cand)
+					cand &= cand - 1
+					x := matchR[v]
+					if x == unmatched {
+						found = true
+					} else if dist[x] == inf {
+						dist[x] = dist[u] + 1
+						queue = append(queue, x)
+					}
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		row := b.row(u)
+		for w, bitsW := range row {
+			for bitsW != 0 {
+				v := w<<6 + bits.TrailingZeros64(bitsW)
+				bitsW &= bitsW - 1
+				x := matchR[v]
+				if x == unmatched || (dist[x] == dist[u]+1 && dfs(x)) {
+					matchL[u] = v
+					matchR[v] = u
+					return true
+				}
+			}
+		}
+		dist[u] = inf // dead end: prune for the rest of this phase
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for u := 0; u < b.nLeft; u++ {
+			if matchL[u] == unmatched && dfs(u) {
+				size++
+			}
+		}
+	}
+	return Matching{MatchLeft: matchL, MatchRight: matchR, Size: size}
+}
+
+// MinVertexCoverBitset is MinVertexCover over the packed adjacency:
+// König alternating reachability from free left vertices, with the
+// same visited-right bitset trick as the matching BFS.
+func MinVertexCoverBitset(b *BitsetBipartite, m Matching) (coverLeft, coverRight []bool) {
+	visitedL := make([]bool, b.nLeft)
+	visitedR := make([]bool, b.nRight)
+	unvis := make([]uint64, b.words)
+	for w := range unvis {
+		unvis[w] = ^uint64(0)
+	}
+	if tail := b.nRight & 63; tail != 0 && b.words > 0 {
+		unvis[b.words-1] = 1<<uint(tail) - 1
+	}
+	var queue []int
+	for u := 0; u < b.nLeft; u++ {
+		if m.MatchLeft[u] == unmatched {
+			visitedL[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		row := b.row(u)
+		for w, bitsW := range row {
+			cand := bitsW & unvis[w]
+			if cand == 0 {
+				continue
+			}
+			// Must leave the left side via an unmatched edge; the
+			// matched partner stays reachable through other lefts.
+			if mv := m.MatchLeft[u]; mv != unmatched && mv>>6 == w {
+				cand &^= 1 << uint(mv&63)
+			}
+			unvis[w] &^= cand
+			for cand != 0 {
+				v := w<<6 + bits.TrailingZeros64(cand)
+				cand &= cand - 1
+				visitedR[v] = true
+				x := m.MatchRight[v]
+				if x != unmatched && !visitedL[x] {
+					visitedL[x] = true
+					queue = append(queue, x)
+				}
+			}
+		}
+	}
+	coverLeft = make([]bool, b.nLeft)
+	coverRight = make([]bool, b.nRight)
+	for u := 0; u < b.nLeft; u++ {
+		coverLeft[u] = !visitedL[u]
+	}
+	for v := 0; v < b.nRight; v++ {
+		coverRight[v] = visitedR[v]
+	}
+	return coverLeft, coverRight
+}

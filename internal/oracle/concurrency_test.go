@@ -1,0 +1,143 @@
+package oracle
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+// TestIsConcurrentSafe pins down which wrapper stacks advertise
+// concurrency safety: the standard static/counting/caching stack does;
+// anything containing a stateful rng-driven layer (Noisy, Majority) or
+// a plain budget counter does not, and neither does a foreign Oracle
+// that never opted in.
+func TestIsConcurrentSafe(t *testing.T) {
+	static := NewStatic(labels(0, 1, 0))
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name string
+		o    Oracle
+		want bool
+	}{
+		{"static", static, true},
+		{"counting(static)", NewCounting(static), true},
+		{"caching(static)", NewCaching(static), true},
+		{"caching(counting(static))", NewCaching(NewCounting(static)), true},
+		{"counting(caching(static))", NewCounting(NewCaching(static)), true},
+		{"instrumented", Instrument(labels(0, 1)).O, true},
+		{"noisy", NewNoisy(static, 0.1, rng), false},
+		{"budgeted", NewBudgeted(static, 5), false},
+		{"majority", NewMajority(static, 0.1, 3, rng), false},
+		{"counting(noisy)", NewCounting(NewNoisy(static, 0.1, rng)), false},
+		{"caching(budgeted)", NewCaching(NewBudgeted(static, 5)), false},
+	}
+	for _, c := range cases {
+		if got := IsConcurrentSafe(c.o); got != c.want {
+			t.Errorf("%s: IsConcurrentSafe = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCountingConcurrent hammers the atomic probe counter from many
+// goroutines; run under -race this also proves the counter introduces
+// no data race of its own.
+func TestCountingConcurrent(t *testing.T) {
+	const n, goroutines, rounds = 128, 8, 200
+	c := NewCounting(NewStatic(make([]geom.Label, n)))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := c.Probe((g*rounds + r) % n); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Probe(-1) // failed probes must not count
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Probes(); got != goroutines*rounds {
+		t.Errorf("Probes = %d, want %d", got, goroutines*rounds)
+	}
+	c.Reset()
+	if c.Probes() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+// TestCachingConcurrentSingleFlight probes a small index set from many
+// goroutines through Caching(Counting(Static)) and asserts the paper's
+// probe accounting survives the concurrency: every point reaches the
+// inner oracle exactly once, no matter how many goroutines race on it.
+func TestCachingConcurrentSingleFlight(t *testing.T) {
+	const n, goroutines, rounds = 64, 8, 500
+	truth := make([]geom.Label, n)
+	for i := range truth {
+		truth[i] = geom.Label(i % 2)
+	}
+	counting := NewCounting(NewStatic(truth))
+	c := NewCaching(counting)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for r := 0; r < rounds; r++ {
+				i := rng.Intn(n)
+				l, err := c.Probe(i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if l != truth[i] {
+					t.Errorf("Probe(%d) = %v, want %v", i, l, truth[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := counting.Probes(); got != c.Distinct() {
+		t.Errorf("inner probes %d != distinct %d: single-flight broken", got, c.Distinct())
+	}
+	if c.Distinct() > n {
+		t.Errorf("Distinct = %d > n = %d", c.Distinct(), n)
+	}
+	for i := 0; i < n; i++ {
+		if l, ok := c.Known(i); ok && l != truth[i] {
+			t.Errorf("Known(%d) = %v, want %v", i, l, truth[i])
+		}
+	}
+}
+
+// TestCachingConcurrentErrors: failed inner probes must neither poison
+// the cache nor count as reveals, even under concurrency.
+func TestCachingConcurrentErrors(t *testing.T) {
+	c := NewCaching(NewStatic(labels(0, 1)))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 100; r++ {
+				if _, err := c.Probe(99); err == nil {
+					t.Error("out-of-range probe succeeded")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Distinct() != 0 {
+		t.Errorf("Distinct = %d after only failed probes", c.Distinct())
+	}
+	if _, ok := c.Known(99); ok {
+		t.Error("failed probe cached")
+	}
+}

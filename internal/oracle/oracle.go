@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"monoclass/internal/geom"
 )
@@ -30,6 +32,28 @@ type Oracle interface {
 	Probe(i int) (geom.Label, error)
 	// Len returns the size of the underlying point set.
 	Len() int
+}
+
+// ConcurrentSafe is implemented by oracles that can report whether
+// concurrent Probe calls are safe. Wrappers answer by asking the
+// oracle they wrap, so safety propagates through a whole stack:
+// Caching over Counting over Static is safe end to end, while any
+// stack containing e.g. a Noisy layer is not. Callers that fan probes
+// across goroutines (core.runChainsParallel) consult IsConcurrentSafe
+// and fall back to external locking when the answer is no.
+type ConcurrentSafe interface {
+	Oracle
+	// ConcurrencySafe reports whether Probe may be called from
+	// multiple goroutines without external synchronization.
+	ConcurrencySafe() bool
+}
+
+// IsConcurrentSafe reports whether o is declared safe for concurrent
+// probing. Oracles that do not implement ConcurrentSafe are assumed
+// unsafe.
+func IsConcurrentSafe(o Oracle) bool {
+	cs, ok := o.(ConcurrentSafe)
+	return ok && cs.ConcurrencySafe()
 }
 
 // Static is the base oracle: an in-memory slice of hidden labels.
@@ -64,13 +88,18 @@ func (s *Static) Probe(i int) (geom.Label, error) {
 // Len implements Oracle.
 func (s *Static) Len() int { return len(s.labels) }
 
+// ConcurrencySafe implements ConcurrentSafe: the label slice is
+// immutable after construction.
+func (s *Static) ConcurrencySafe() bool { return true }
+
 // Counting wraps an oracle and counts probes. Every Probe call that
 // reaches the wrapped oracle increments the counter, including repeat
 // probes of the same index; combine with Caching to count distinct
-// points instead.
+// points instead. The counter is atomic, so Counting adds no
+// concurrency hazard of its own (see ConcurrencySafe).
 type Counting struct {
 	inner  Oracle
-	probes int
+	probes atomic.Int64
 }
 
 // NewCounting wraps inner with a probe counter.
@@ -80,7 +109,7 @@ func NewCounting(inner Oracle) *Counting { return &Counting{inner: inner} }
 func (c *Counting) Probe(i int) (geom.Label, error) {
 	l, err := c.inner.Probe(i)
 	if err == nil {
-		c.probes++
+		c.probes.Add(1)
 	}
 	return l, err
 }
@@ -89,48 +118,100 @@ func (c *Counting) Probe(i int) (geom.Label, error) {
 func (c *Counting) Len() int { return c.inner.Len() }
 
 // Probes returns the number of successful probes so far.
-func (c *Counting) Probes() int { return c.probes }
+func (c *Counting) Probes() int { return int(c.probes.Load()) }
 
 // Reset zeroes the probe counter.
-func (c *Counting) Reset() { c.probes = 0 }
+func (c *Counting) Reset() { c.probes.Store(0) }
+
+// ConcurrencySafe implements ConcurrentSafe: counting itself is
+// atomic, so the stack is safe iff the wrapped oracle is.
+func (c *Counting) ConcurrencySafe() bool { return IsConcurrentSafe(c.inner) }
+
+// cacheShards is the number of independent lock stripes in Caching.
+// Probes of different shards proceed fully in parallel; within a
+// shard, a miss holds the lock across the inner probe so each point
+// is revealed exactly once (single-flight), preserving the paper's
+// probe accounting under concurrency.
+const cacheShards = 32
+
+type cacheShard struct {
+	mu    sync.RWMutex
+	known map[int]geom.Label
+}
 
 // Caching wraps an oracle and remembers revealed labels, so probing the
 // same point again costs nothing downstream. This matches the paper's
 // semantics: a probe "reveals" a label, and a revealed label needs no
 // second reveal. Distinct() reports how many distinct points have been
-// revealed.
+// revealed. The cache is sharded across lock stripes, so concurrent
+// probing scales; see ConcurrencySafe for when the whole stack is safe.
 type Caching struct {
-	inner Oracle
-	known map[int]geom.Label
+	inner  Oracle
+	shards [cacheShards]cacheShard
 }
 
 // NewCaching wraps inner with a reveal cache.
 func NewCaching(inner Oracle) *Caching {
-	return &Caching{inner: inner, known: make(map[int]geom.Label)}
+	c := &Caching{inner: inner}
+	for s := range c.shards {
+		c.shards[s].known = make(map[int]geom.Label)
+	}
+	return c
+}
+
+func (c *Caching) shard(i int) *cacheShard {
+	return &c.shards[uint(i)%cacheShards]
 }
 
 // Probe implements Oracle.
 func (c *Caching) Probe(i int) (geom.Label, error) {
-	if l, ok := c.known[i]; ok {
+	sh := c.shard(i)
+	sh.mu.RLock()
+	l, ok := sh.known[i]
+	sh.mu.RUnlock()
+	if ok {
 		return l, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if l, ok := sh.known[i]; ok {
+		return l, nil // revealed while waiting for the write lock
 	}
 	l, err := c.inner.Probe(i)
 	if err != nil {
 		return 0, err
 	}
-	c.known[i] = l
+	sh.known[i] = l
 	return l, nil
 }
 
 // Len implements Oracle.
 func (c *Caching) Len() int { return c.inner.Len() }
 
+// ConcurrencySafe implements ConcurrentSafe. The sharded cache
+// serializes same-shard misses but lets different shards reach the
+// wrapped oracle simultaneously, so the stack is safe iff the wrapped
+// oracle is.
+func (c *Caching) ConcurrencySafe() bool { return IsConcurrentSafe(c.inner) }
+
 // Distinct returns the number of distinct points revealed so far.
-func (c *Caching) Distinct() int { return len(c.known) }
+func (c *Caching) Distinct() int {
+	total := 0
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.RLock()
+		total += len(sh.known)
+		sh.mu.RUnlock()
+	}
+	return total
+}
 
 // Known returns the revealed label of point i, if any.
 func (c *Caching) Known(i int) (geom.Label, bool) {
-	l, ok := c.known[i]
+	sh := c.shard(i)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	l, ok := sh.known[i]
 	return l, ok
 }
 

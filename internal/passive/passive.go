@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"math"
 
+	"monoclass/internal/chains"
 	"monoclass/internal/classifier"
+	"monoclass/internal/domgraph"
 	"monoclass/internal/geom"
 	"monoclass/internal/maxflow"
 )
@@ -95,7 +97,10 @@ func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
 	// sparse path answers the same question through a chain index.
 	var contending []bool
 	var ci chainIndex
-	if opts.Dense {
+	var km *domgraph.Matrix       // non-nil on the kernel path
+	var kdec chains.Decomposition // its chain decomposition
+	switch {
+	case opts.Dense:
 		contending = make([]bool, n)
 		for i := range ws {
 			if ws[i].Label != geom.Negative {
@@ -111,7 +116,23 @@ func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
 				}
 			}
 		}
-	} else {
+	case opts.Chains == nil && ws.Dim() >= 3:
+		// Kernel path: the generic decomposition needs the O(dn²)
+		// dominance relation anyway, so build it once as a bit-packed
+		// matrix and reuse it for the chain decomposition, the
+		// contending scan (word-level, O(n²/64)), and the ∞-edge
+		// builder. Dimensions 1 and 2 keep the O(n log n) chain fast
+		// paths below, which never materialize the relation at all.
+		pts := make([]geom.Point, n)
+		labels := make([]geom.Label, n)
+		for i := range ws {
+			pts[i] = ws[i].P
+			labels[i] = ws[i].Label
+		}
+		km = domgraph.Build(pts)
+		kdec = chains.DecomposeMatrix(pts, km)
+		contending = km.ViolationParties(labels)
+	default:
 		ci = buildChainIndex(ws, opts.Chains)
 		contending = contendingPoints(ws, &ci)
 	}
@@ -170,6 +191,11 @@ func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
 						g.AddEdge(vertex[i], vertex[j], math.Inf(1))
 					}
 				}
+			}
+		} else if km != nil {
+			// Sparsified reachability network on the kernel matrix.
+			for _, e := range sparseInfinityEdgesMatrix(km, kdec, contending) {
+				g.AddEdge(vertex[e.from], vertex[e.to], math.Inf(1))
 			}
 		} else {
 			// Sparsified reachability network (see sparse.go).

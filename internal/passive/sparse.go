@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"monoclass/internal/chains"
+	"monoclass/internal/domgraph"
 	"monoclass/internal/geom"
 )
 
@@ -178,6 +179,60 @@ func sparseInfinityEdges(ws geom.WeightedSet, ci *chainIndex, contending []bool)
 			// Dominated contending members form a prefix.
 			pre := sort.Search(len(chain), func(k int) bool {
 				return !geom.Dominates(p, ws[chain[k]].P)
+			})
+			if pre > 0 {
+				edges = append(edges, sparseEdge{from: i, to: chain[pre-1]})
+			}
+		}
+	}
+	return edges
+}
+
+// sparseInfinityEdgesMatrix is sparseInfinityEdges driven by the
+// bit-packed dominance kernel instead of scalar geom.Dominates calls:
+// the same transitive-reduction-style ∞-edge set (consecutive links
+// inside each restricted chain, one cross-chain link to the highest
+// dominated member, duplicate forward links), with every dominance and
+// equality query answered by an O(1) bit test on the prebuilt matrix.
+// The two builders emit exactly the same edge set; tests assert it.
+func sparseInfinityEdgesMatrix(m *domgraph.Matrix, dec chains.Decomposition, contending []bool) []sparseEdge {
+	chainOf := make([]int, m.N())
+	restricted := make([][]int, len(dec.Chains))
+	for c, chain := range dec.Chains {
+		for _, idx := range chain {
+			chainOf[idx] = c
+			if contending[idx] {
+				restricted[c] = append(restricted[c], idx)
+			}
+		}
+	}
+	var edges []sparseEdge
+	// Consecutive links within each restricted chain (higher → lower),
+	// plus the forward link between coordinate-equal neighbours (equal
+	// points dominate each other in both directions; see the scalar
+	// builder above).
+	for _, chain := range restricted {
+		for k := 1; k < len(chain); k++ {
+			edges = append(edges, sparseEdge{from: chain[k], to: chain[k-1]})
+			if m.Equal(chain[k], chain[k-1]) {
+				edges = append(edges, sparseEdge{from: chain[k-1], to: chain[k]})
+			}
+		}
+	}
+	// Cross-chain links: the dominated members of an ascending chain
+	// always form a prefix (transitivity), so a binary search over
+	// O(1) bit lookups finds the highest one.
+	for i := range contending {
+		if !contending[i] {
+			continue
+		}
+		home := chainOf[i]
+		for c, chain := range restricted {
+			if c == home || len(chain) == 0 {
+				continue
+			}
+			pre := sort.Search(len(chain), func(k int) bool {
+				return !m.Dominates(i, chain[k])
 			})
 			if pre > 0 {
 				edges = append(edges, sparseEdge{from: i, to: chain[pre-1]})
