@@ -1,13 +1,17 @@
 # Developer entry points for the monoclass reproduction.
 #
-#   make check           build + vet + full test suite
-#   make race            race-detector pass over internal packages
-#   make bench-domkernel regenerate BENCH_domkernel.json (kernel vs scalar)
-#   make verify          everything CI gates on, in order
+#   make check             build + vet + full test suite
+#   make race              race-detector pass over internal packages
+#   make conformance       quick differential/metamorphic engine run (CI gate)
+#   make conformance-long  soak run: more trials, larger instances
+#   make conformance-mutate self-test: injected bug must be caught
+#   make bench-domkernel   regenerate BENCH_domkernel.json (kernel vs scalar)
+#   make verify            everything CI gates on, in order
+#   make verify-full       verify + the ~30s kernel benchmark
 
 GO ?= go
 
-.PHONY: all build vet test race bench-domkernel verify clean
+.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel verify verify-full clean
 
 all: check
 
@@ -25,6 +29,21 @@ check: build vet test
 race:
 	$(GO) test -race ./internal/...
 
+# Quick conformance gate: 200 seeded trials through every redundant
+# solver pair and metamorphic invariant, under the race detector.
+# Divergences shrink into internal/conformance/testdata/repro-*.json.
+conformance:
+	$(GO) test -race -run 'TestConformance|TestReplayRepros|TestGoldenFigure1' -count=1 -v ./internal/conformance
+
+# Soak mode: 2000 trials on the enlarged size schedule.
+conformance-long:
+	CONFORMANCE_TRIALS=2000 CONFORMANCE_LONG=1 $(GO) test -race -run TestConformance -count=1 -v -timeout 30m ./internal/conformance
+
+# Harness self-test: build a deliberately off-by-one solver copy and
+# assert the engine detects, shrinks, and persists a replayable repro.
+conformance-mutate:
+	$(GO) test -tags conformance_mutation -run TestMutation -count=1 ./internal/conformance
+
 # Machine-readable before/after numbers for the bit-packed dominance
 # kernel (cmd/benchtab -domkernel). Takes ~30s; add QUICK=1 for a
 # seconds-scale smoke run that overwrites nothing.
@@ -35,7 +54,9 @@ else
 	$(GO) run ./cmd/benchtab -domkernel BENCH_domkernel.json -seed 42
 endif
 
-verify: build vet test race bench-domkernel
+verify: build vet test race conformance conformance-mutate
+
+verify-full: verify bench-domkernel
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,93 @@
+package monoclass_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"monoclass"
+)
+
+// countingClassifier wraps a threshold and counts Classify calls, so
+// the batch tests can confirm every point was visited exactly once
+// even when the work fans out across goroutines.
+type countingClassifier struct {
+	tau   float64
+	calls atomic.Int64
+}
+
+func (c *countingClassifier) Classify(p monoclass.Point) monoclass.Label {
+	c.calls.Add(1)
+	if p[0] >= c.tau {
+		return monoclass.Positive
+	}
+	return monoclass.Negative
+}
+
+func TestClassifyBatchEmpty(t *testing.T) {
+	h := &countingClassifier{tau: 0}
+	out := monoclass.ClassifyBatch(h, nil)
+	if len(out) != 0 {
+		t.Fatalf("batch over nil points returned %d labels", len(out))
+	}
+	out = monoclass.ClassifyBatch(h, []monoclass.Point{})
+	if len(out) != 0 {
+		t.Fatalf("batch over empty slice returned %d labels", len(out))
+	}
+	if c := h.calls.Load(); c != 0 {
+		t.Fatalf("classifier called %d times on empty input", c)
+	}
+}
+
+func TestClassifyBatchSingle(t *testing.T) {
+	h := &countingClassifier{tau: 5}
+	out := monoclass.ClassifyBatch(h, []monoclass.Point{{7}})
+	if len(out) != 1 || out[0] != monoclass.Positive {
+		t.Fatalf("batch = %v, want [Positive]", out)
+	}
+	if c := h.calls.Load(); c != 1 {
+		t.Fatalf("classifier called %d times for one point", c)
+	}
+}
+
+// TestClassifyBatchMatchesSequential: the parallel fan-out must be a
+// pure reordering of work — positionally identical to a sequential
+// loop, with exactly one call per point.
+func TestClassifyBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 3, 17, 256, 1001} {
+		pts := make([]monoclass.Point, n)
+		for i := range pts {
+			pts[i] = monoclass.Point{rng.Float64() * 10}
+		}
+		h := &countingClassifier{tau: 5}
+		got := monoclass.ClassifyBatch(h, pts)
+		if c := h.calls.Load(); c != int64(n) {
+			t.Fatalf("n=%d: classifier called %d times", n, c)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d labels", n, len(got))
+		}
+		for i, p := range pts {
+			if want := h.Classify(p); got[i] != want {
+				t.Fatalf("n=%d: label[%d] = %v, sequential gives %v", n, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestClassifyBatchAnchorSet: the library's own classifier type through
+// the batch path, against point-by-point classification.
+func TestClassifyBatchAnchorSet(t *testing.T) {
+	h, err := monoclass.NewAnchorSet(2, []monoclass.Point{{1, 3}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []monoclass.Point{{0, 0}, {1, 3}, {2, 2}, {3, 1}, {4, 4}, {1, 2}, {0, 5}}
+	got := monoclass.ClassifyBatch(h, pts)
+	for i, p := range pts {
+		if want := h.Classify(p); got[i] != want {
+			t.Errorf("label[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"monoclass/internal/conformance"
+)
+
+// runConformance drives the conformance engine from the CLI
+// (benchtab -conformance). It prints the run summary and exits
+// non-zero on any divergence; shrunken repro files land in reproDir,
+// where `go test ./internal/conformance -run TestReplayRepros` picks
+// them up.
+func runConformance(seed int64, trials int, long bool, reproDir string) error {
+	rep := conformance.Run(conformance.Config{
+		Seed:     seed,
+		Trials:   trials,
+		Long:     long,
+		ReproDir: reproDir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "conformance: "+format+"\n", args...)
+		},
+	})
+	fmt.Printf("# conformance run (seed=%d, trials=%d, long=%v)\n\n%s", seed, trials, long, rep.Summary())
+	if len(rep.Divergences) > 0 {
+		return fmt.Errorf("%d divergence(s); repros in %s", len(rep.Divergences), reproDir)
+	}
+	return nil
+}

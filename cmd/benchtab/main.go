@@ -6,12 +6,16 @@
 //
 //	benchtab [-quick] [-seed N] [-only E1,E4,F1]
 //	benchtab -domkernel FILE
+//	benchtab -conformance [-trials N] [-long] [-repro-dir DIR]
 //
 // The full run takes a few minutes; -quick shrinks workloads to
 // seconds for smoke testing. -domkernel skips the experiment tables
 // and instead times the bit-packed dominance kernel against its scalar
 // baselines, writing a machine-readable JSON report to FILE (see
-// runDomKernelBench).
+// runDomKernelBench). -conformance runs the differential/metamorphic
+// engine (internal/conformance) and exits non-zero on any divergence,
+// leaving shrunken repro files in -repro-dir; replay one with
+// `go test ./internal/conformance -run TestReplayRepros`.
 package main
 
 import (
@@ -29,7 +33,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	domkernel := flag.String("domkernel", "", "write dominance-kernel benchmark JSON to this file and exit")
+	conf := flag.Bool("conformance", false, "run the differential/metamorphic conformance engine and exit")
+	trials := flag.Int("trials", 200, "conformance trials (with -conformance)")
+	long := flag.Bool("long", false, "conformance soak mode: larger instance schedule (with -conformance)")
+	reproDir := flag.String("repro-dir", "internal/conformance/testdata", "directory for shrunken divergence repros (with -conformance)")
 	flag.Parse()
+
+	if *conf {
+		if err := runConformance(*seed, *trials, *long, *reproDir); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *domkernel != "" {
 		if err := runDomKernelBench(*domkernel, *seed, *quick); err != nil {

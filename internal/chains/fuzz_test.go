@@ -1,0 +1,64 @@
+package chains
+
+import (
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+// decodePoints interprets fuzz bytes as a point set on a small integer
+// grid: the first byte fixes the dimension (1..4), then every d bytes
+// form one point with coordinates in 0..7 (small grid → dense ties and
+// duplicates, the regime where kernel and scalar paths can disagree).
+func decodePoints(data []byte) []geom.Point {
+	if len(data) < 1 {
+		return nil
+	}
+	d := 1 + int(data[0])%4
+	body := data[1:]
+	n := len(body) / d
+	if n > 24 {
+		n = 24
+	}
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		p := make(geom.Point, d)
+		for k := 0; k < d; k++ {
+			p[k] = float64(body[i*d+k] % 8)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// FuzzDecomposeKernelVsScalar feeds arbitrary small point sets to the
+// bit-packed decomposition kernel and its scalar oracle: both must
+// produce valid minimum chain decompositions of identical width, and
+// the width must match the independent Width computation.
+func FuzzDecomposeKernelVsScalar(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4})                   // 1-d chain
+	f.Add([]byte{1, 0, 7, 1, 6, 2, 5, 3, 4})       // 2-d antichain
+	f.Add([]byte{1, 2, 2, 2, 2, 2, 2, 1, 1, 3, 3}) // 2-d with duplicates
+	f.Add([]byte{3, 1, 1, 1, 1, 2, 2, 2, 2})       // 4-d comparable pair
+	f.Add([]byte{2})                               // empty
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := decodePoints(data)
+		if pts == nil {
+			return
+		}
+		kernel := DecomposeGeneric(pts)
+		scalar := DecomposeGenericScalar(pts)
+		if len(kernel.Chains) != len(scalar.Chains) {
+			t.Fatalf("kernel width %d, scalar width %d", len(kernel.Chains), len(scalar.Chains))
+		}
+		if w := Width(pts); w != len(kernel.Chains) {
+			t.Fatalf("decomposition width %d, Width() says %d", len(kernel.Chains), w)
+		}
+		if err := ValidateDecomposition(pts, kernel.Chains); err != nil {
+			t.Fatalf("kernel decomposition invalid: %v", err)
+		}
+		if err := ValidateDecomposition(pts, scalar.Chains); err != nil {
+			t.Fatalf("scalar decomposition invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,595 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"monoclass/internal/chains"
+	"monoclass/internal/classifier"
+	"monoclass/internal/core"
+	"monoclass/internal/domgraph"
+	"monoclass/internal/geom"
+	"monoclass/internal/maxflow"
+	"monoclass/internal/oracle"
+	"monoclass/internal/passive"
+)
+
+// CheckFunc is one deterministic conformance check over an instance.
+// A nil return means every invariant held; an error describes the
+// first divergence. Checks must be pure functions of the instance
+// (randomness only through generators seeded from Instance.Seed), so
+// the shrinker and the replay runner see the same behavior.
+type CheckFunc func(Instance) error
+
+// Check pairs a stable name with its implementation. The name appears
+// in reports and repro files.
+type Check struct {
+	Name string
+	Fn   CheckFunc
+}
+
+// Checks returns the full deterministic suite in fixed order:
+// differential checks first, metamorphic invariants second. The
+// statistical (1+ε) audit of the active algorithm is not listed here —
+// it is probabilistic, so the engine runs and aggregates it separately
+// (see ActiveAudit).
+func Checks() []Check {
+	return []Check{
+		{"maxflow-differential", CheckMaxflowDifferential},
+		{"domgraph-kernel-vs-naive", CheckDomgraphKernel},
+		{"chains-kernel-vs-scalar", CheckChainsDecompose},
+		{"passive-differential", CheckPassiveDifferential},
+		{"active-exhaustive-exact", CheckActiveExhaustive},
+		{"meta-monotone-transform", CheckMetaMonotoneTransform},
+		{"meta-duality", CheckMetaDuality},
+		{"meta-duplication", CheckMetaDuplication},
+		{"meta-weight-scale", CheckMetaWeightScale},
+		{"meta-permutation", CheckMetaPermutation},
+	}
+}
+
+// CheckByName resolves a check name from a repro file; nil when
+// unknown.
+func CheckByName(name string) CheckFunc {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c.Fn
+		}
+	}
+	return nil
+}
+
+// RunAll runs the full deterministic suite and returns the first
+// divergence, prefixed with its check name.
+func RunAll(in Instance) error {
+	for _, c := range Checks() {
+		if err := Safe(c.Fn, in); err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// Safe runs a check, converting panics (how kernel-internal invariant
+// failures surface) into ordinary divergence errors so the engine can
+// shrink and report them.
+func Safe(fn CheckFunc, in Instance) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn(in)
+}
+
+// almostEq compares float values with a tolerance scaled to their
+// magnitude; all capacities in play are modest, so 1e-9 absolute plus
+// 1e-9 relative covers legitimate summation-order differences between
+// solvers while still catching any off-by-one-weight divergence.
+func almostEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-9+1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// ---------------------------------------------------------------------
+// Max-flow differential
+// ---------------------------------------------------------------------
+
+// netEdge records one edge of a constructed test network so invariants
+// can be audited from outside the solver.
+type netEdge struct {
+	id   int
+	u, v int
+	cap  float64
+	inf  bool
+}
+
+// testNetwork is a rebuildable network: the conformance checks run
+// every solver on a fresh clone.
+type testNetwork struct {
+	name  string
+	g     *maxflow.Network
+	edges []netEdge
+}
+
+// addEdge adds and records an edge.
+func (tn *testNetwork) addEdge(u, v int, cap float64) {
+	id := tn.g.AddEdge(u, v, cap)
+	tn.edges = append(tn.edges, netEdge{id: id, u: u, v: v, cap: cap, inf: math.IsInf(cap, 1)})
+}
+
+// passiveNetwork builds the literal Section 5.1 flow network of the
+// instance (source 0, sink 1, one vertex per contending point, ∞ type-3
+// edges), independently of the passive package's construction, so the
+// solvers are exercised on the exact topology Theorem 4 relies on.
+// Returns nil when no points contend.
+func passiveNetwork(in Instance) *testNetwork {
+	pts := in.Pts()
+	n := in.N()
+	contending := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if in.Labels[i] != 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if in.Labels[j] != 1 {
+				continue
+			}
+			if geom.Dominates(pts[i], pts[j]) {
+				contending[i] = true
+				contending[j] = true
+			}
+		}
+	}
+	vertex := make([]int, n)
+	next := 2
+	for i := range vertex {
+		if contending[i] {
+			vertex[i] = next
+			next++
+		} else {
+			vertex[i] = -1
+		}
+	}
+	if next == 2 {
+		return nil
+	}
+	tn := &testNetwork{name: "passive", g: maxflow.New(next, 0, 1)}
+	for i := 0; i < n; i++ {
+		if !contending[i] {
+			continue
+		}
+		if in.Labels[i] == 0 {
+			tn.addEdge(0, vertex[i], in.Weights[i])
+		} else {
+			tn.addEdge(vertex[i], 1, in.Weights[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !contending[i] || in.Labels[i] != 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !contending[j] || in.Labels[j] != 1 {
+				continue
+			}
+			if geom.Dominates(pts[i], pts[j]) {
+				tn.addEdge(vertex[i], vertex[j], math.Inf(1))
+			}
+		}
+	}
+	return tn
+}
+
+// randomTestNetwork draws a small arbitrary network; withInf sprinkles
+// infinite capacities in, covering the unbounded-instance contract the
+// passive topology never reaches.
+func randomTestNetwork(rng *rand.Rand, name string, withInf bool) *testNetwork {
+	n := 3 + rng.Intn(9)
+	tn := &testNetwork{name: name, g: maxflow.New(n, 0, n-1)}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || rng.Float64() >= 0.35 {
+				continue
+			}
+			cap := float64(1 + rng.Intn(12))
+			if withInf && rng.Intn(6) == 0 {
+				cap = math.Inf(1)
+			}
+			tn.addEdge(u, v, cap)
+		}
+	}
+	return tn
+}
+
+// cutEdgesChecked extracts the min cut, converting the Lemma 18 panic
+// (an infinite-capacity edge in the cut) into an error.
+func cutEdgesChecked(r maxflow.Result) (cut []maxflow.CutEdge, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%v", p)
+		}
+	}()
+	return r.CutEdges(), nil
+}
+
+// auditSolverResult checks one solver's result against the recorded
+// edge list: capacity bounds, flow conservation, and (on bounded
+// instances) min-cut duality with no infinite cut edge.
+func auditSolverResult(tn *testNetwork, solver string, r maxflow.Result) error {
+	excess := make([]float64, tn.g.NumVertices())
+	for _, e := range tn.edges {
+		f := r.Flow(e.id)
+		if f < -1e-9 {
+			return fmt.Errorf("%s/%s: edge %d carries negative flow %g", tn.name, solver, e.id, f)
+		}
+		if !e.inf && f > e.cap+1e-9 {
+			return fmt.Errorf("%s/%s: edge %d flow %g exceeds capacity %g", tn.name, solver, e.id, f, e.cap)
+		}
+		excess[e.v] += f
+		excess[e.u] -= f
+	}
+	for v := range excess {
+		want := 0.0
+		switch v {
+		case tn.g.Source():
+			want = -r.Value
+		case tn.g.Sink():
+			want = r.Value
+		}
+		if !almostEq(excess[v], want) {
+			return fmt.Errorf("%s/%s: vertex %d violates conservation: excess %g, want %g",
+				tn.name, solver, v, excess[v], want)
+		}
+	}
+	if r.IsInfinite() {
+		return nil
+	}
+	cut, err := cutEdgesChecked(r)
+	if err != nil {
+		return fmt.Errorf("%s/%s: Lemma 18 violated on bounded instance: %v", tn.name, solver, err)
+	}
+	var cutWeight float64
+	for _, e := range cut {
+		if math.IsInf(e.Capacity, 1) {
+			return fmt.Errorf("%s/%s: infinite edge %d reported in cut", tn.name, solver, e.ID)
+		}
+		cutWeight += e.Capacity
+	}
+	if !almostEq(cutWeight, r.Value) {
+		return fmt.Errorf("%s/%s: cut weight %g != flow value %g (duality)", tn.name, solver, cutWeight, r.Value)
+	}
+	return nil
+}
+
+// CheckMaxflowDifferential runs all four solvers on the instance's
+// Section 5.1 network and on seeded random networks (with and without
+// infinite edges), asserting equal flow values, consistent
+// boundedness, valid cuts, Lemma 18, and flow conservation.
+func CheckMaxflowDifferential(in Instance) error {
+	rng := rand.New(rand.NewSource(in.Seed ^ 0x6d61786670))
+	var nets []*testNetwork
+	if tn := passiveNetwork(in); tn != nil {
+		nets = append(nets, tn)
+	}
+	nets = append(nets,
+		randomTestNetwork(rng, "random", false),
+		randomTestNetwork(rng, "random-inf", true),
+	)
+	for _, tn := range nets {
+		ref := maxflow.Dinic(tn.g.Clone())
+		if err := auditSolverResult(tn, "dinic", ref); err != nil {
+			return err
+		}
+		if tn.name == "passive" && ref.IsInfinite() {
+			return fmt.Errorf("passive network reports unbounded flow (Lemma 18 precondition broken)")
+		}
+		for _, name := range maxflow.SolverNames() {
+			if name == "dinic" {
+				continue
+			}
+			r := maxflow.Solvers()[name](tn.g.Clone())
+			if r.IsInfinite() != ref.IsInfinite() {
+				return fmt.Errorf("%s: %s boundedness %v != dinic %v", tn.name, name, r.IsInfinite(), ref.IsInfinite())
+			}
+			if !r.IsInfinite() && !almostEq(r.Value, ref.Value) {
+				return fmt.Errorf("%s: %s flow value %g != dinic %g", tn.name, name, r.Value, ref.Value)
+			}
+			if err := auditSolverResult(tn, name, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Dominance kernel differential
+// ---------------------------------------------------------------------
+
+// CheckDomgraphKernel holds the bit-packed parallel builder to exact
+// agreement with the scalar oracle, then cross-checks the word-level
+// kernels (violation counting, contending extraction, antichain test)
+// against direct scalar computation.
+func CheckDomgraphKernel(in Instance) error {
+	pts := in.Pts()
+	labels := in.GeomLabels()
+	fast := domgraph.Build(pts)
+	naive := domgraph.BuildNaive(pts)
+	if d := domgraph.Diff(fast, naive); d != "" {
+		return fmt.Errorf("Build vs BuildNaive: %s", d)
+	}
+
+	if got, want := fast.CountViolations(labels), geom.MonotoneViolations(in.Labeled()); got != want {
+		return fmt.Errorf("CountViolations %d != scalar MonotoneViolations %d", got, want)
+	}
+
+	parties := fast.ViolationParties(labels)
+	n := in.N()
+	for i := 0; i < n; i++ {
+		want := false
+		for j := 0; j < n && !want; j++ {
+			if labels[i] == geom.Negative && labels[j] == geom.Positive && geom.Dominates(pts[i], pts[j]) {
+				want = true
+			}
+			if labels[i] == geom.Positive && labels[j] == geom.Negative && geom.Dominates(pts[j], pts[i]) {
+				want = true
+			}
+		}
+		if parties[i] != want {
+			return fmt.Errorf("ViolationParties[%d] = %v, scalar says %v", i, parties[i], want)
+		}
+	}
+
+	// Antichain kernel vs scalar pairwise scan on seeded subsets.
+	rng := rand.New(rand.NewSource(in.Seed ^ 0x616e7469))
+	for trial := 0; trial < 4 && n > 0; trial++ {
+		k := 1 + rng.Intn(minInt(n, 10))
+		idx := rng.Perm(n)[:k]
+		got := fast.IsAntichain(idx)
+		want := chains.ValidateAntichain(pts, idx) == nil
+		if got != want {
+			return fmt.Errorf("IsAntichain(%v) = %v, scalar says %v", idx, got, want)
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Chain decomposition differential
+// ---------------------------------------------------------------------
+
+// validateDecomposition asserts a decomposition is a valid minimum
+// certificate pair: a chain partition of the right cardinality plus an
+// antichain of matching size.
+func validateDecomposition(tag string, pts []geom.Point, dec chains.Decomposition) error {
+	if err := chains.ValidateDecomposition(pts, dec.Chains); err != nil {
+		return fmt.Errorf("%s: %w", tag, err)
+	}
+	if err := chains.ValidateAntichain(pts, dec.Antichain); err != nil {
+		return fmt.Errorf("%s: %w", tag, err)
+	}
+	if dec.Width != len(dec.Chains) {
+		return fmt.Errorf("%s: width %d != %d chains", tag, dec.Width, len(dec.Chains))
+	}
+	if len(dec.Antichain) != dec.Width {
+		return fmt.Errorf("%s: antichain size %d != width %d", tag, len(dec.Antichain), dec.Width)
+	}
+	return nil
+}
+
+// CheckChainsDecompose cross-checks every decomposition path: the
+// bit-packed generic construction, its scalar oracle, the dimension
+// dispatcher with its 1-D/2-D fast paths, the O(n log n) 2-D width,
+// and the greedy baseline (valid but possibly wider).
+func CheckChainsDecompose(in Instance) error {
+	pts := in.Pts()
+	gen := chains.DecomposeGeneric(pts)
+	if err := validateDecomposition("generic-kernel", pts, gen); err != nil {
+		return err
+	}
+	sc := chains.DecomposeGenericScalar(pts)
+	if err := validateDecomposition("generic-scalar", pts, sc); err != nil {
+		return err
+	}
+	if gen.Width != sc.Width {
+		return fmt.Errorf("kernel width %d != scalar width %d", gen.Width, sc.Width)
+	}
+
+	disp := chains.Decompose(pts)
+	if err := validateDecomposition("dispatcher", pts, disp); err != nil {
+		return err
+	}
+	if disp.Width != gen.Width {
+		return fmt.Errorf("dispatcher width %d != generic width %d", disp.Width, gen.Width)
+	}
+	if w := chains.Width(pts); w != gen.Width {
+		return fmt.Errorf("Width %d != generic width %d", w, gen.Width)
+	}
+	if in.Dim() == 2 {
+		if w := chains.Width2D(pts); w != gen.Width {
+			return fmt.Errorf("Width2D %d != generic width %d", w, gen.Width)
+		}
+	}
+
+	greedy := chains.GreedyDecompose(pts)
+	if err := chains.ValidateDecomposition(pts, greedy); err != nil && in.N() > 0 {
+		return fmt.Errorf("greedy: %w", err)
+	}
+	if len(greedy) < gen.Width {
+		return fmt.Errorf("greedy produced %d chains, below the width %d (impossible)", len(greedy), gen.Width)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Passive solver differential
+// ---------------------------------------------------------------------
+
+// solveVariant runs passive.Solve with one configuration.
+type solveVariant struct {
+	name string
+	opts passive.Options
+}
+
+// auditSolution checks a solution's internal consistency: the
+// assignment's weighted disagreement equals the reported optimum, the
+// returned classifier reproduces the assignment on the inputs, and the
+// classifier is monotone over the inputs.
+func auditSolution(tag string, ws geom.WeightedSet, sol passive.Solution) error {
+	var disagree float64
+	for i, wp := range ws {
+		if sol.Assignment[i] != wp.Label {
+			disagree += wp.Weight
+		}
+	}
+	if !almostEq(disagree, sol.WErr) {
+		return fmt.Errorf("%s: assignment disagreement %g != reported optimum %g", tag, disagree, sol.WErr)
+	}
+	pts := make([]geom.Point, len(ws))
+	for i, wp := range ws {
+		pts[i] = wp.P
+	}
+	for i, p := range pts {
+		if got := sol.Classifier.Classify(p); got != sol.Assignment[i] {
+			return fmt.Errorf("%s: classifier(%v) = %v, assignment says %v", tag, p, got, sol.Assignment[i])
+		}
+	}
+	if ok, p, q := classifier.IsMonotoneOn(pts, sol.Classifier); !ok {
+		return fmt.Errorf("%s: classifier not monotone: h(%v) < h(%v)", tag, p, q)
+	}
+	return nil
+}
+
+// CheckPassiveDifferential solves the instance through every redundant
+// configuration — sparse construction under all four max-flow solvers,
+// the literal dense construction, a caller-supplied chain
+// decomposition — and requires identical optima and contending counts;
+// small instances are additionally checked against the exponential
+// NaiveSolve.
+func CheckPassiveDifferential(in Instance) error {
+	ws := in.WeightedSet()
+	if len(ws) == 0 {
+		if _, err := passive.Solve(ws, passive.Options{}); err == nil {
+			return fmt.Errorf("Solve accepted an empty set")
+		}
+		if _, err := passive.NaiveSolve(ws); err == nil {
+			return fmt.Errorf("NaiveSolve accepted an empty set")
+		}
+		return nil
+	}
+
+	base, err := passive.Solve(ws, passive.Options{})
+	if err != nil {
+		return fmt.Errorf("base solve: %w", err)
+	}
+	if err := auditSolution("base", ws, base); err != nil {
+		return err
+	}
+
+	variants := []solveVariant{
+		{"pushrelabel", passive.Options{Solver: maxflow.PushRelabel}},
+		{"edmondskarp", passive.Options{Solver: maxflow.EdmondsKarp}},
+		{"capacityscaling", passive.Options{Solver: maxflow.CapacityScaling}},
+		{"dense", passive.Options{Dense: true}},
+		{"chains", passive.Options{Chains: chains.Decompose(in.Pts()).Chains}},
+	}
+	for _, v := range variants {
+		sol, err := passive.Solve(ws, v.opts)
+		if err != nil {
+			return fmt.Errorf("%s solve: %w", v.name, err)
+		}
+		if !almostEq(sol.WErr, base.WErr) {
+			return fmt.Errorf("%s optimum %g != base optimum %g", v.name, sol.WErr, base.WErr)
+		}
+		if sol.Stats.Contending != base.Stats.Contending {
+			return fmt.Errorf("%s contending %d != base contending %d", v.name, sol.Stats.Contending, base.Stats.Contending)
+		}
+		if err := auditSolution(v.name, ws, sol); err != nil {
+			return err
+		}
+	}
+
+	if n := len(ws); n <= 15 && n <= passive.NaiveLimit {
+		naive, err := passive.NaiveSolve(ws)
+		if err != nil {
+			return fmt.Errorf("naive solve: %w", err)
+		}
+		if !almostEq(naive.WErr, base.WErr) {
+			return fmt.Errorf("naive optimum %g != flow optimum %g", naive.WErr, base.WErr)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Active pipeline, exhaustive mode (deterministic, exact)
+// ---------------------------------------------------------------------
+
+// activeMaxN bounds the instance size the active checks run on;
+// larger instances are legal but redundant for this check and slow
+// under -race.
+const activeMaxN = 400
+
+// exhaustiveParams requests exact probing (Epsilon <= 0): every point
+// is revealed, Σ equals P with unit weights, and the result must match
+// the passive optimum exactly.
+func exhaustiveParams() core.Params {
+	return core.Params{Epsilon: 0, Delta: 0.5, SampleConstant: 3, PhiDivisor: 256, BaseCase: 7}
+}
+
+// CheckActiveExhaustive runs the Theorem 2+3 pipeline with exhaustive
+// probing and requires exact agreement with the passive optimum on
+// unit weights: same error, same width as the decomposition oracle,
+// every point probed exactly once.
+func CheckActiveExhaustive(in Instance) error {
+	n := in.N()
+	if n == 0 {
+		if _, err := core.ActiveLearn(nil, oracle.NewStatic(nil), exhaustiveParams(), rand.New(rand.NewSource(1))); err == nil {
+			return fmt.Errorf("ActiveLearn accepted an empty set")
+		}
+		return nil
+	}
+	if n > activeMaxN {
+		return nil
+	}
+	pts := in.Pts()
+	labels := in.GeomLabels()
+	lab := in.Labeled()
+
+	unit := make(geom.WeightedSet, n)
+	for i := range unit {
+		unit[i] = geom.WeightedPoint{P: pts[i], Label: labels[i], Weight: 1}
+	}
+	opt, err := passive.Solve(unit, passive.Options{})
+	if err != nil {
+		return fmt.Errorf("passive optimum: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(in.Seed ^ 0x61637469))
+	res, err := core.ActiveLearn(pts, oracle.NewStatic(labels), exhaustiveParams(), rng)
+	if err != nil {
+		return fmt.Errorf("exhaustive active run: %w", err)
+	}
+	if res.Probes != n {
+		return fmt.Errorf("exhaustive mode probed %d of %d points", res.Probes, n)
+	}
+	if w := chains.Width(pts); res.Width != w {
+		return fmt.Errorf("active pipeline width %d != decomposition width %d", res.Width, w)
+	}
+	if !almostEq(res.SigmaWErr, opt.WErr) {
+		return fmt.Errorf("exhaustive surrogate optimum %g != passive optimum %g", res.SigmaWErr, opt.WErr)
+	}
+	if errP := float64(geom.Err(lab, res.Classifier.Classify)); !almostEq(errP, opt.WErr) {
+		return fmt.Errorf("exhaustive classifier error %g != passive optimum %g", errP, opt.WErr)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// envInt reads an integer override from the environment.
+func envInt(key string, def int) int {
+	if s := os.Getenv(key); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+// TestConformance is the gate `make conformance` runs: a seeded engine
+// pass over every implementation pair and invariant. Environment
+// overrides: CONFORMANCE_TRIALS, CONFORMANCE_SEED, CONFORMANCE_LONG=1
+// (larger size schedule for soak runs).
+func TestConformance(t *testing.T) {
+	trials := envInt("CONFORMANCE_TRIALS", 200)
+	seed := int64(envInt("CONFORMANCE_SEED", 1))
+	long := os.Getenv("CONFORMANCE_LONG") != ""
+	if testing.Short() {
+		trials = minInt(trials, 36)
+	}
+
+	rep := Run(Config{
+		Seed:     seed,
+		Trials:   trials,
+		Long:     long,
+		ReproDir: "testdata",
+		Logf:     t.Logf,
+	})
+	t.Logf("\n%s", rep.Summary())
+
+	for _, c := range Checks() {
+		if rep.PerCheck[c.Name] != trials {
+			t.Errorf("check %s ran %d times, want %d", c.Name, rep.PerCheck[c.Name], trials)
+		}
+	}
+	if rep.Active.Instances == 0 {
+		t.Error("active (1+ε) audit never ran")
+	}
+	for _, d := range rep.Divergences {
+		t.Errorf("divergence: %s on %s (trial %d): %s [repro: %s]",
+			d.Check, d.Family, d.Trial, d.Err, d.ReproPath)
+	}
+}
+
+// TestWorkloadDeterminism: the same (seed, trial) pair must always
+// regenerate the identical instance — the property replaying and
+// shrinking depend on.
+func TestWorkloadDeterminism(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		a := GenerateWorkload(7, trial, false)
+		b := GenerateWorkload(7, trial, false)
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("trial %d not deterministic", trial)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("trial %d generates invalid instance: %v", trial, err)
+		}
+	}
+}
+
+// TestWorkloadCoverage: the schedule must actually produce the shapes
+// the harness advertises — degenerate sizes, duplicates, every
+// dimension 1..6.
+func TestWorkloadCoverage(t *testing.T) {
+	sawN := map[int]bool{}
+	sawD := map[int]bool{}
+	families := map[string]bool{}
+	for trial := 0; trial < 400; trial++ {
+		in := GenerateWorkload(1, trial, false)
+		sawN[in.N()] = true
+		sawD[in.Dim()] = true
+		families[in.Family] = true
+	}
+	for _, n := range []int{0, 1, 2} {
+		if !sawN[n] {
+			t.Errorf("size schedule never produced n=%d", n)
+		}
+	}
+	for d := 1; d <= 6; d++ {
+		if !sawD[d] {
+			t.Errorf("schedule never produced dimension %d", d)
+		}
+	}
+	for _, f := range familyNames {
+		if !families[f] {
+			t.Errorf("family %s never generated", f)
+		}
+	}
+}
+
+// TestShrinkMinimizes: a synthetic predicate that fails whenever the
+// instance contains a marked point must shrink to (nearly) just that
+// point, and the result must still fail.
+func TestShrinkMinimizes(t *testing.T) {
+	in := GenerateWorkload(3, 9, false) // a mid-sized planted instance
+	if in.N() < 20 {
+		t.Fatalf("unexpectedly small workload: n=%d", in.N())
+	}
+	// Mark one point by an out-of-band coordinate value.
+	in.Points[in.N()/2][0] = 1e6
+	pred := func(cand Instance) error {
+		for _, row := range cand.Points {
+			if row[0] == 1e6 {
+				return fmt.Errorf("marked point present")
+			}
+		}
+		return nil
+	}
+	shrunk := Shrink(in, pred)
+	if Safe(pred, shrunk) == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	if shrunk.N() > 2 {
+		t.Errorf("shrunk to %d points, want <= 2", shrunk.N())
+	}
+	if shrunk.Dim() != 1 {
+		t.Errorf("shrunk to %d dims, want 1", shrunk.Dim())
+	}
+}
+
+// TestShrinkOnPassingInstanceIsIdentity: shrinking a non-failing
+// instance returns it unchanged.
+func TestShrinkOnPassingInstanceIsIdentity(t *testing.T) {
+	in := GenerateWorkload(1, 5, false)
+	out := Shrink(in, func(Instance) error { return nil })
+	if out.N() != in.N() {
+		t.Errorf("shrink changed a passing instance: %d -> %d points", in.N(), out.N())
+	}
+}
+
+// TestReproRoundTrip: write, list, load, replay.
+func TestReproRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := GenerateWorkload(11, 13, false)
+	in.Check = "passive-differential"
+	in.Note = "synthetic round-trip fixture"
+	path, err := WriteRepro(dir, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ListRepros(dir)
+	if err != nil || len(paths) != 1 || paths[0] != path {
+		t.Fatalf("ListRepros = %v, %v; want [%s]", paths, err, path)
+	}
+	back, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", back) != fmt.Sprintf("%+v", in) {
+		t.Fatal("repro round trip changed the instance")
+	}
+	// The stored instance is healthy, so replaying its check passes.
+	if err := Replay(back); err != nil {
+		t.Errorf("replay of healthy instance failed: %v", err)
+	}
+}
+
+// TestLoadReproRejectsGarbage: malformed or inconsistent repro files
+// must be rejected, not replayed.
+func TestLoadReproRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"repro-bad-json.json":   "{not json",
+		"repro-bad-label.json":  `{"family":"x","points":[[1]],"labels":[7],"weights":[1]}`,
+		"repro-bad-weight.json": `{"family":"x","points":[[1]],"labels":[1],"weights":[-1]}`,
+		"repro-misaligned.json": `{"family":"x","points":[[1],[2]],"labels":[1],"weights":[1]}`,
+	}
+	for name, body := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadRepro(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReplayUnknownCheck: an unknown check name is an error, not a
+// silent pass.
+func TestReplayUnknownCheck(t *testing.T) {
+	in := GenerateWorkload(1, 3, false)
+	in.Check = "no-such-check"
+	if err := Replay(in); err == nil {
+		t.Error("replay accepted an unknown check name")
+	}
+}
+
+// TestDomgraphDiffDetectsBitFlip: the matrix differ (the primitive
+// every kernel comparison rests on) must catch a single flipped bit.
+func TestDomgraphDiffDetectsBitFlip(t *testing.T) {
+	in := GenerateWorkload(5, 21, false)
+	if in.N() < 3 {
+		t.Skip("workload too small")
+	}
+	if err := Safe(CheckDomgraphKernel, in); err != nil {
+		t.Fatalf("healthy instance diverges: %v", err)
+	}
+}

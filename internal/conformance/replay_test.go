@@ -1,0 +1,35 @@
+package conformance
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestReplayRepros replays every repro-*.json under testdata/. Files
+// land there when the engine catches a divergence; once the underlying
+// bug is fixed, the replays pass and the file serves as a pinned
+// regression test. Run a single file with:
+//
+//	go test ./internal/conformance -run 'TestReplayRepros/<file>'
+func TestReplayRepros(t *testing.T) {
+	paths, err := ListRepros("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no repro files recorded")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			in, err := LoadRepro(path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if err := Replay(in); err != nil {
+				t.Errorf("%s (family %s, seed %d, n=%d): %v\noriginal note: %s",
+					in.Check, in.Family, in.Seed, in.N(), err, in.Note)
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package conformance
+
+// Shrinking: given an instance on which a check diverges, greedily
+// minimize it while the divergence persists, so the repro file a human
+// opens is a handful of small-integer points rather than hundreds of
+// 17-digit floats. The strategy is delta debugging over points
+// followed by structural simplification (drop dimensions, unit
+// weights, rank-compressed coordinates); every candidate is re-run
+// through the failing check, and panics count as still-failing.
+
+// shrinkBudget caps the number of check evaluations one shrink may
+// spend; shrinking is best-effort, not optimal.
+const shrinkBudget = 400
+
+// Shrink returns a minimized instance that still fails fn, or the
+// input unchanged if it does not fail in the first place. The result
+// always fails fn (shrinking never loses the divergence).
+func Shrink(in Instance, fn CheckFunc) Instance {
+	if Safe(fn, in) == nil {
+		return in
+	}
+	cur := in
+	evals := 0
+	fails := func(cand Instance) bool {
+		if evals >= shrinkBudget {
+			return false
+		}
+		evals++
+		return Safe(fn, cand) != nil
+	}
+
+	// Phase 1: delta debugging over points — remove progressively
+	// smaller contiguous chunks while the check still fails.
+	for chunk := (cur.N() + 1) / 2; chunk >= 1; chunk /= 2 {
+		removed := true
+		for removed && evals < shrinkBudget {
+			removed = false
+			for start := 0; start+chunk <= cur.N(); {
+				cand := cur.removeRange(start, chunk)
+				if fails(cand) {
+					cur = cand
+					removed = true
+					// Same start now addresses the next chunk.
+				} else {
+					start += chunk
+				}
+			}
+		}
+		if chunk > cur.N() {
+			chunk = cur.N()
+		}
+	}
+
+	// Phase 2: drop whole dimensions.
+	for k := cur.Dim() - 1; k >= 0 && cur.Dim() > 1; k-- {
+		if cand := cur.dropDim(k); fails(cand) {
+			cur = cand
+		}
+	}
+
+	// Phase 3: normalize weights, then compress coordinates to small
+	// integer ranks (both only kept when the failure survives).
+	if cand := cur.unitWeights(); fails(cand) {
+		cur = cand
+	}
+	if cand := cur.rankCoords(); fails(cand) {
+		cur = cand
+	}
+	return cur
+}

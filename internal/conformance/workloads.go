@@ -1,0 +1,189 @@
+package conformance
+
+import (
+	"math/rand"
+
+	"monoclass/internal/dataset"
+	"monoclass/internal/geom"
+)
+
+// Workload generation: every trial draws one instance from a rotating
+// schedule of dataset families and adversarial/degenerate shapes, with
+// the size, dimensionality, noise, and weight scheme varied by trial
+// index. Each trial owns an independent seed, so any instance can be
+// regenerated (and any divergence replayed) without re-running the
+// trials before it.
+
+// quickSizes and longSizes are the point-count schedules. They start
+// at the degenerate end (n = 0, 1, 2) on purpose: empty and singleton
+// inputs are where wrapper error paths and fast-path dispatches live.
+var (
+	quickSizes = []int{0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	longSizes  = []int{0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 512}
+)
+
+// noiseSchedule cycles label-flip rates from clean to adversarial.
+var noiseSchedule = []float64{0, 0.05, 0.2, 0.45}
+
+// familyNames lists the generator families in rotation order.
+var familyNames = []string{
+	"planted", "width2d", "uniform1d", "noisychain", "antidiagonal",
+	"labelinversion", "figure1", "dupgrid", "onelabel", "singlechain",
+	"antichain", "duplicates",
+}
+
+// trialSeed derives an independent seed for one trial from the engine
+// seed via a splitmix64 step, so trials are decorrelated and each
+// instance is regenerable in isolation.
+func trialSeed(engineSeed int64, trial int) int64 {
+	z := uint64(engineSeed) + 0x9e3779b97f4a7c15*uint64(trial+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// GenerateWorkload produces the instance for one trial. The same
+// (engineSeed, trial, long) triple always yields the same instance.
+func GenerateWorkload(engineSeed int64, trial int, long bool) Instance {
+	seed := trialSeed(engineSeed, trial)
+	rng := rand.New(rand.NewSource(seed))
+
+	sizes := quickSizes
+	if long {
+		sizes = longSizes
+	}
+	n := sizes[trial%len(sizes)]
+	d := 1 + (trial/len(sizes))%6
+	noise := noiseSchedule[rng.Intn(len(noiseSchedule))]
+	family := familyNames[trial%len(familyNames)]
+
+	var lab []geom.LabeledPoint
+	switch family {
+	case "planted":
+		lab = dataset.Planted(rng, dataset.PlantedParams{N: n, D: d, Noise: noise})
+	case "width2d":
+		if n == 0 {
+			lab = nil
+		} else {
+			w := 1 + rng.Intn(n)
+			lab = dataset.WidthControlled(rng, dataset.WidthParams{N: n, W: w, Noise: noise})
+		}
+	case "uniform1d":
+		lab = dataset.Uniform1D(rng, n, rng.Float64(), noise)
+	case "noisychain":
+		lab = dataset.NoisyChain(rng, n, noise)
+	case "antidiagonal":
+		lab = dataset.AntiDiagonal(rng, n)
+	case "labelinversion":
+		lab = dataset.LabelInversion(n)
+	case "figure1":
+		return FromWeightedSet(family, seed, dataset.Figure1Weighted())
+	case "dupgrid":
+		// Tiny integer grid: masses of exact duplicates and per-
+		// dimension ties, the regime the DAG tiebreak and duplicate-
+		// group logic exist for.
+		lab = gridPoints(rng, n, d, 1+rng.Intn(3))
+	case "onelabel":
+		lab = dataset.Planted(rng, dataset.PlantedParams{N: n, D: d})
+		one := geom.Label(rng.Intn(2))
+		for i := range lab {
+			lab[i].Label = one
+		}
+	case "singlechain":
+		// One maximal chain along the diagonal in d dimensions with a
+		// noisy threshold: width 1, every pair comparable.
+		lab = make([]geom.LabeledPoint, n)
+		threshold := 0
+		if n > 0 {
+			threshold = rng.Intn(n + 1)
+		}
+		for i := range lab {
+			pt := make(geom.Point, d)
+			for k := range pt {
+				pt[k] = float64(i)
+			}
+			label := geom.Negative
+			if i >= threshold {
+				label = geom.Positive
+			}
+			if rng.Float64() < noise {
+				label ^= 1
+			}
+			lab[i] = geom.LabeledPoint{P: pt, Label: label}
+		}
+	case "antichain":
+		// Pure antichain in any d >= 2: the first two coordinates are
+		// anti-correlated, the rest random. Width n, every labeling
+		// monotone-consistent.
+		dd := d
+		if dd < 2 {
+			dd = 2
+		}
+		lab = make([]geom.LabeledPoint, n)
+		for i := range lab {
+			pt := make(geom.Point, dd)
+			pt[0] = float64(i)
+			pt[1] = float64(n - 1 - i)
+			for k := 2; k < dd; k++ {
+				pt[k] = float64(rng.Intn(8))
+			}
+			lab[i] = geom.LabeledPoint{P: pt, Label: geom.Label(rng.Intn(2))}
+		}
+	case "duplicates":
+		// A handful of distinct points, each repeated many times with
+		// independently noisy labels — coordinate-equal points carrying
+		// conflicting labels.
+		distinct := 1 + n/8
+		protos := dataset.Planted(rng, dataset.PlantedParams{N: distinct, D: d, Noise: 0})
+		lab = make([]geom.LabeledPoint, n)
+		for i := range lab {
+			p := protos[rng.Intn(distinct)]
+			label := p.Label
+			if rng.Float64() < noise {
+				label ^= 1
+			}
+			lab[i] = geom.LabeledPoint{P: p.P.Clone(), Label: label}
+		}
+		if n == 0 {
+			lab = nil
+		}
+	}
+
+	ws := make(geom.WeightedSet, len(lab))
+	for i, lp := range lab {
+		ws[i] = geom.WeightedPoint{P: lp.P, Label: lp.Label, Weight: pickWeight(rng, trial)}
+	}
+	return FromWeightedSet(family, seed, ws)
+}
+
+// gridPoints draws n points from the integer grid {0..levels}^d with
+// random labels.
+func gridPoints(rng *rand.Rand, n, d, levels int) []geom.LabeledPoint {
+	out := make([]geom.LabeledPoint, n)
+	for i := range out {
+		pt := make(geom.Point, d)
+		for k := range pt {
+			pt[k] = float64(rng.Intn(levels + 1))
+		}
+		out[i] = geom.LabeledPoint{P: pt, Label: geom.Label(rng.Intn(2))}
+	}
+	return out
+}
+
+// pickWeight rotates weight schemes by trial: unit weights, small
+// mixed weights, and heavy-tailed weights (the Figure 1(b) regime
+// where one point outweighs entire neighborhoods).
+func pickWeight(rng *rand.Rand, trial int) float64 {
+	switch trial % 3 {
+	case 0:
+		return 1
+	case 1:
+		return []float64{0.5, 1, 2, 3.25}[rng.Intn(4)]
+	default:
+		if rng.Intn(8) == 0 {
+			return 100
+		}
+		return 1
+	}
+}

@@ -462,6 +462,31 @@ func (m *Matrix) IsAntichain(idx []int) bool {
 	return true
 }
 
+// Diff compares two matrices bit for bit and describes the first
+// difference, or returns "" when they are identical. It is the
+// differential-testing primitive the conformance harness uses to hold
+// Build and BuildNaive to exact agreement.
+func Diff(a, b *Matrix) string {
+	if a.n != b.n {
+		return fmt.Sprintf("point counts differ: %d vs %d", a.n, b.n)
+	}
+	for i := 0; i < a.n; i++ {
+		for w, wa := range a.DomRow(i) {
+			if wb := b.DomRow(i)[w]; wa != wb {
+				j := w<<6 + bits.TrailingZeros64(wa^wb)
+				return fmt.Sprintf("closure bit (%d,%d): %v vs %v", i, j, a.Dominates(i, j), b.Dominates(i, j))
+			}
+		}
+		for w, wa := range a.DAGRow(i) {
+			if wb := b.DAGRow(i)[w]; wa != wb {
+				j := w<<6 + bits.TrailingZeros64(wa^wb)
+				return fmt.Sprintf("dag bit (%d,%d): %v vs %v", i, j, a.Edge(i, j), b.Edge(i, j))
+			}
+		}
+	}
+	return ""
+}
+
 // CountEdges returns the number of DAG edges (a measure of poset
 // density, popcounted word-wise).
 func (m *Matrix) CountEdges() int {

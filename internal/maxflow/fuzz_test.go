@@ -1,0 +1,74 @@
+package maxflow
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeNetwork interprets fuzz bytes as a network: the first byte
+// fixes the vertex count (2..10, source 0, sink n-1), then each
+// (u, v, cap) triple adds an edge. Capacity byte 255 encodes +Inf,
+// covering the unbounded contract; self-loops are skipped.
+func decodeNetwork(data []byte) *Network {
+	if len(data) < 1 {
+		return nil
+	}
+	n := 2 + int(data[0])%9
+	g := New(n, 0, n-1)
+	edges := 0
+	for i := 1; i+2 < len(data) && edges < 64; i += 3 {
+		u := int(data[i]) % n
+		v := int(data[i+1]) % n
+		if u == v {
+			continue
+		}
+		cap := float64(data[i+2] % 16)
+		if data[i+2] == 255 {
+			cap = math.Inf(1)
+		}
+		g.AddEdge(u, v, cap)
+		edges++
+	}
+	return g
+}
+
+// FuzzMaxflowSolversAgree runs all four solvers on an arbitrary
+// decoded network and requires exact agreement on the flow value and
+// boundedness, plus min-cut duality with no infinite edge in the cut
+// (Lemma 18) on bounded instances.
+func FuzzMaxflowSolversAgree(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 5})                                     // single edge s->t
+	f.Add([]byte{1, 0, 1, 4, 1, 2, 255, 0, 2, 1})                 // infinite middle edge
+	f.Add([]byte{0, 0, 1, 255})                                   // infinite s->t: unbounded
+	f.Add([]byte{2, 0, 1, 9, 0, 2, 4, 1, 3, 2, 2, 3, 8, 1, 2, 1}) // diamond with cross edge
+	f.Add([]byte{4})                                              // no edges: zero flow
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeNetwork(data)
+		if g == nil {
+			return
+		}
+		ref := Dinic(g.Clone())
+		for name, solve := range Solvers() {
+			r := solve(g.Clone())
+			if r.IsInfinite() != ref.IsInfinite() {
+				t.Fatalf("%s: infinite=%v, dinic says %v", name, r.IsInfinite(), ref.IsInfinite())
+			}
+			if r.IsInfinite() {
+				continue
+			}
+			if math.Abs(r.Value-ref.Value) > 1e-9 {
+				t.Fatalf("%s: value %g, dinic %g", name, r.Value, ref.Value)
+			}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("%s: CutEdges panicked (Lemma 18 violated): %v", name, p)
+					}
+				}()
+				if w := r.CutWeight(); math.Abs(w-r.Value) > 1e-9 {
+					t.Fatalf("%s: cut weight %g != flow value %g", name, w, r.Value)
+				}
+			}()
+		}
+	})
+}

@@ -1,0 +1,25 @@
+package maxflow
+
+// Solver is the common signature of every max-flow implementation in
+// this package. All four consume the network they are given; Clone
+// first to keep the original.
+type Solver func(*Network) Result
+
+// SolverNames lists the implementations in a fixed, deterministic
+// order, so differential tests and reports enumerate them stably.
+func SolverNames() []string {
+	return []string{"dinic", "pushrelabel", "edmondskarp", "capacityscaling"}
+}
+
+// Solvers maps each name from SolverNames to its implementation. The
+// four are deliberately redundant — same contract, different
+// algorithms — and the conformance harness holds them to bit-level
+// agreement on flow value and cut validity.
+func Solvers() map[string]Solver {
+	return map[string]Solver{
+		"dinic":           Dinic,
+		"pushrelabel":     PushRelabel,
+		"edmondskarp":     EdmondsKarp,
+		"capacityscaling": CapacityScaling,
+	}
+}

@@ -8,19 +8,25 @@ import (
 	"monoclass/internal/geom"
 )
 
+// NaiveLimit is the largest input NaiveSolve accepts; the 2^n subset
+// enumeration makes anything bigger impractical. Cross-checking
+// harnesses gate their naive comparisons on it.
+const NaiveLimit = 25
+
 // NaiveSolve is the exponential-time reference solver sketched in
 // Section 1.2 of the paper: enumerate every subset S ⊆ P, check whether
 // mapping S to 1 and P \ S to 0 is monotone-consistent, and keep the
 // assignment of minimum weighted error. It exists to cross-check Solve
 // on small inputs and to anchor experiment E5's exponential-vs-
-// polynomial comparison. It refuses inputs larger than 25 points.
+// polynomial comparison. It refuses inputs larger than NaiveLimit
+// points.
 func NaiveSolve(ws geom.WeightedSet) (Solution, error) {
 	n := len(ws)
 	if n == 0 {
 		return Solution{}, fmt.Errorf("passive: empty input set")
 	}
-	if n > 25 {
-		return Solution{}, fmt.Errorf("passive: naive solver limited to 25 points, got %d", n)
+	if n > NaiveLimit {
+		return Solution{}, fmt.Errorf("passive: naive solver limited to %d points, got %d", NaiveLimit, n)
 	}
 	if err := ws.Validate(); err != nil {
 		return Solution{}, err

@@ -1,0 +1,98 @@
+package monoclass_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"monoclass"
+)
+
+func TestStreamingThresholdEmpty(t *testing.T) {
+	s := monoclass.NewStreamingThreshold(rand.New(rand.NewSource(1)))
+	if s.Len() != 0 {
+		t.Fatalf("empty stream has Len %d", s.Len())
+	}
+	h, werr := s.Best()
+	if werr != 0 {
+		t.Errorf("empty stream best error = %g, want 0", werr)
+	}
+	if !math.IsInf(h.Tau, -1) {
+		t.Errorf("empty stream threshold = %g, want -Inf (all-positive)", h.Tau)
+	}
+	if got := s.Err(3.5); got != 0 {
+		t.Errorf("Err on empty stream = %g, want 0", got)
+	}
+}
+
+// TestStreamingMatchesBatch: after every prefix of a shuffled weighted
+// stream, Best must agree with the batch BestThreshold1D on the same
+// observations, and Err must agree with a direct evaluation.
+func TestStreamingMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := monoclass.NewStreamingThreshold(rng)
+	var seen monoclass.WeightedSet
+	for i := 0; i < 120; i++ {
+		x := float64(rng.Intn(25)) // collisions exercise weight coalescing
+		label := monoclass.Negative
+		if rng.Float64() < 0.5+x/60 { // noisy increasing trend
+			label = monoclass.Positive
+		}
+		w := []float64{0.5, 1, 2, 3.25}[rng.Intn(4)]
+		s.Observe(x, label, w)
+		seen = append(seen, monoclass.WeightedPoint{P: monoclass.Point{x}, Label: label, Weight: w})
+
+		if i%7 != 0 {
+			continue
+		}
+		_, wantErr := monoclass.BestThreshold1D(seen)
+		got, gotErr := s.Best()
+		if math.Abs(gotErr-wantErr) > 1e-9 {
+			t.Fatalf("prefix %d: streaming best error %g, batch %g", i+1, gotErr, wantErr)
+		}
+		// The streaming threshold must achieve its claimed error.
+		if direct := monoclass.WErr(seen, got); math.Abs(direct-gotErr) > 1e-9 {
+			t.Fatalf("prefix %d: threshold %g evaluates to %g, claimed %g", i+1, got.Tau, direct, gotErr)
+		}
+		for _, tau := range []float64{-1, 0, 3, 12.5, 24, 30} {
+			want := monoclass.WErr(seen, monoclass.Threshold1D{Tau: tau})
+			if math.Abs(s.Err(tau)-want) > 1e-9 {
+				t.Fatalf("prefix %d: Err(%g) = %g, direct %g", i+1, tau, s.Err(tau), want)
+			}
+		}
+	}
+}
+
+// TestStreamingLenCountsDistinct: Len reports distinct observed values,
+// not observations.
+func TestStreamingLenCountsDistinct(t *testing.T) {
+	s := monoclass.NewStreamingThreshold(rand.New(rand.NewSource(3)))
+	for i := 0; i < 10; i++ {
+		s.Observe(float64(i%4), monoclass.Positive, 1)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d after 10 observations of 4 distinct values, want 4", s.Len())
+	}
+}
+
+// TestStreamingSeedIndependence: the rng drives tree balancing only;
+// results must be bit-identical across seeds.
+func TestStreamingSeedIndependence(t *testing.T) {
+	build := func(seed int64) (monoclass.Threshold1D, float64) {
+		s := monoclass.NewStreamingThreshold(rand.New(rand.NewSource(seed)))
+		data := rand.New(rand.NewSource(99))
+		for i := 0; i < 60; i++ {
+			label := monoclass.Negative
+			if data.Intn(2) == 1 {
+				label = monoclass.Positive
+			}
+			s.Observe(float64(data.Intn(12)), label, 1+float64(data.Intn(3)))
+		}
+		return s.Best()
+	}
+	h1, e1 := build(1)
+	h2, e2 := build(20260804)
+	if h1.Tau != h2.Tau || e1 != e2 {
+		t.Errorf("results differ across balancing seeds: (%g, %g) vs (%g, %g)", h1.Tau, e1, h2.Tau, e2)
+	}
+}
