@@ -6,12 +6,13 @@
 #   make conformance-long  soak run: more trials, larger instances
 #   make conformance-mutate self-test: injected bug must be caught
 #   make bench-domkernel   regenerate BENCH_domkernel.json (kernel vs scalar)
+#   make bench-maxflow     regenerate BENCH_maxflow.json (flow-solver engine)
 #   make verify            everything CI gates on, in order
-#   make verify-full       verify + the ~30s kernel benchmark
+#   make verify-full       verify + the benchmark regenerations
 
 GO ?= go
 
-.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel verify verify-full clean
+.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow verify verify-full clean
 
 all: check
 
@@ -54,9 +55,21 @@ else
 	$(GO) run ./cmd/benchtab -domkernel BENCH_domkernel.json -seed 42
 endif
 
+# Machine-readable numbers for the CSR flow-solver engine: every
+# registered max-flow solver on passive-construction networks and
+# worst-case families, plus the workspace zero-allocation re-solve
+# check (cmd/benchtab -maxflow). Takes ~1min; add QUICK=1 for a
+# seconds-scale smoke run that overwrites nothing.
+bench-maxflow:
+ifdef QUICK
+	$(GO) run ./cmd/benchtab -maxflow /tmp/BENCH_maxflow.quick.json -seed 42 -quick
+else
+	$(GO) run ./cmd/benchtab -maxflow BENCH_maxflow.json -seed 42
+endif
+
 verify: build vet test race conformance conformance-mutate
 
-verify-full: verify bench-domkernel
+verify-full: verify bench-domkernel bench-maxflow
 
 clean:
 	$(GO) clean ./...

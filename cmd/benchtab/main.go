@@ -6,13 +6,18 @@
 //
 //	benchtab [-quick] [-seed N] [-only E1,E4,F1]
 //	benchtab -domkernel FILE
+//	benchtab -maxflow FILE
 //	benchtab -conformance [-trials N] [-long] [-repro-dir DIR]
 //
 // The full run takes a few minutes; -quick shrinks workloads to
 // seconds for smoke testing. -domkernel skips the experiment tables
 // and instead times the bit-packed dominance kernel against its scalar
 // baselines, writing a machine-readable JSON report to FILE (see
-// runDomKernelBench). -conformance runs the differential/metamorphic
+// runDomKernelBench). -maxflow does the same for the flow-solver
+// engine: every registered solver on passive-construction networks
+// and worst-case flow families, plus the workspace zero-allocation
+// re-solve check (see runMaxflowBench). -conformance runs the
+// differential/metamorphic
 // engine (internal/conformance) and exits non-zero on any divergence,
 // leaving shrunken repro files in -repro-dir; replay one with
 // `go test ./internal/conformance -run TestReplayRepros`.
@@ -33,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	domkernel := flag.String("domkernel", "", "write dominance-kernel benchmark JSON to this file and exit")
+	maxflowOut := flag.String("maxflow", "", "write max-flow solver benchmark JSON to this file and exit")
 	conf := flag.Bool("conformance", false, "run the differential/metamorphic conformance engine and exit")
 	trials := flag.Int("trials", 200, "conformance trials (with -conformance)")
 	long := flag.Bool("long", false, "conformance soak mode: larger instance schedule (with -conformance)")
@@ -49,6 +55,14 @@ func main() {
 
 	if *domkernel != "" {
 		if err := runDomKernelBench(*domkernel, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *maxflowOut != "" {
+		if err := runMaxflowBench(*maxflowOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

@@ -496,11 +496,13 @@ func CheckPassiveDifferential(in Instance) error {
 	}
 
 	variants := []solveVariant{
-		{"pushrelabel", passive.Options{Solver: maxflow.PushRelabel}},
-		{"edmondskarp", passive.Options{Solver: maxflow.EdmondsKarp}},
-		{"capacityscaling", passive.Options{Solver: maxflow.CapacityScaling}},
 		{"dense", passive.Options{Dense: true}},
 		{"chains", passive.Options{Chains: chains.Decompose(in.Pts()).Chains}},
+	}
+	// Every registered max-flow solver drives the sparse construction;
+	// registry additions are covered without touching this file.
+	for name, solver := range maxflow.Solvers() {
+		variants = append(variants, solveVariant{name, passive.Options{Solver: passive.FlowSolver(solver)}})
 	}
 	for _, v := range variants {
 		sol, err := passive.Solve(ws, v.opts)

@@ -1,28 +1,27 @@
 package maxflow
 
 // Dinic computes a maximum flow using Dinic's algorithm: repeat BFS
-// level graphs and DFS blocking flows. It runs in O(V²E) in general and
-// is the default solver for the passive-classification networks. The
-// network is consumed (its residual capacities are mutated); Clone
-// first to keep the original.
+// level graphs and DFS blocking flows with current-arc iteration over
+// the CSR pool. It runs in O(V²E) in general. The network is consumed
+// (its residual capacities are mutated); Clone first to keep the
+// original, or Reset to solve again.
 func Dinic(g *Network) Result {
 	g.prepare()
-	level := make([]int, g.n)
-	iter := make([]int, g.n)
-	queue := make([]int, 0, g.n)
+	level := make([]int32, g.n)
+	iter := make([]int32, g.n) // current arc per vertex, absolute CSR index
+	queue := make([]int32, 0, g.n)
 
 	bfs := func() bool {
 		for i := range level {
 			level[i] = -1
 		}
 		level[g.source] = 0
-		queue = queue[:0]
-		queue = append(queue, g.source)
+		queue = append(queue[:0], int32(g.source))
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for _, a := range g.adj[u] {
-				v := g.to[a]
-				if g.cap[a] > 0 && level[v] < 0 {
+			for a := g.arcStart[u]; a < g.arcStart[u+1]; a++ {
+				v := g.arcTo[a]
+				if g.arcCap[a] > 0 && level[v] < 0 {
 					level[v] = level[u] + 1
 					queue = append(queue, v)
 				}
@@ -31,25 +30,26 @@ func Dinic(g *Network) Result {
 		return level[g.sink] >= 0
 	}
 
-	var dfs func(u int, limit float64) float64
-	dfs = func(u int, limit float64) float64 {
-		if u == g.sink {
+	sink := int32(g.sink)
+	var dfs func(u int32, limit float64) float64
+	dfs = func(u int32, limit float64) float64 {
+		if u == sink {
 			return limit
 		}
-		for ; iter[u] < len(g.adj[u]); iter[u]++ {
-			a := g.adj[u][iter[u]]
-			v := g.to[a]
-			if g.cap[a] <= 0 || level[v] != level[u]+1 {
+		for ; iter[u] < g.arcStart[u+1]; iter[u]++ {
+			a := iter[u]
+			v := g.arcTo[a]
+			if g.arcCap[a] <= 0 || level[v] != level[u]+1 {
 				continue
 			}
 			pushed := limit
-			if g.cap[a] < pushed {
-				pushed = g.cap[a]
+			if g.arcCap[a] < pushed {
+				pushed = g.arcCap[a]
 			}
 			got := dfs(v, pushed)
 			if got > 0 {
-				g.cap[a] -= got
-				g.cap[a^1] += got
+				g.arcCap[a] -= got
+				g.arcCap[g.arcRev[a]] += got
 				return got
 			}
 		}
@@ -60,11 +60,9 @@ func Dinic(g *Network) Result {
 	var value float64
 	limit := g.finiteSum + 1 // exceeds any achievable augmentation
 	for bfs() {
-		for i := range iter {
-			iter[i] = 0
-		}
+		copy(iter, g.arcStart[:g.n])
 		for {
-			got := dfs(g.source, limit)
+			got := dfs(int32(g.source), limit)
 			if got <= 0 {
 				break
 			}

@@ -8,7 +8,7 @@ func EdmondsKarp(g *Network) Result {
 	g.prepare()
 	parentArc := make([]int32, g.n)
 	visited := make([]bool, g.n)
-	queue := make([]int, 0, g.n)
+	queue := make([]int32, 0, g.n)
 
 	var value float64
 	for {
@@ -16,19 +16,18 @@ func EdmondsKarp(g *Network) Result {
 			visited[i] = false
 		}
 		visited[g.source] = true
-		queue = queue[:0]
-		queue = append(queue, g.source)
+		queue = append(queue[:0], int32(g.source))
 		found := false
 		for head := 0; head < len(queue) && !found; head++ {
 			u := queue[head]
-			for _, a := range g.adj[u] {
-				v := g.to[a]
-				if g.cap[a] <= 0 || visited[v] {
+			for a := g.arcStart[u]; a < g.arcStart[u+1]; a++ {
+				v := g.arcTo[a]
+				if g.arcCap[a] <= 0 || visited[v] {
 					continue
 				}
 				visited[v] = true
 				parentArc[v] = a
-				if v == g.sink {
+				if int(v) == g.sink {
 					found = true
 					break
 				}
@@ -42,16 +41,16 @@ func EdmondsKarp(g *Network) Result {
 		bottleneck := g.finiteSum + 1
 		for v := g.sink; v != g.source; {
 			a := parentArc[v]
-			if g.cap[a] < bottleneck {
-				bottleneck = g.cap[a]
+			if g.arcCap[a] < bottleneck {
+				bottleneck = g.arcCap[a]
 			}
-			v = g.to[a^1]
+			v = int(g.arcTo[g.arcRev[a]])
 		}
 		for v := g.sink; v != g.source; {
 			a := parentArc[v]
-			g.cap[a] -= bottleneck
-			g.cap[a^1] += bottleneck
-			v = g.to[a^1]
+			g.arcCap[a] -= bottleneck
+			g.arcCap[g.arcRev[a]] += bottleneck
+			v = int(g.arcTo[g.arcRev[a]])
 		}
 		value += bottleneck
 	}

@@ -1,0 +1,123 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// feasibilityNetwork draws a random instance, recording every edge so
+// the flow can be audited from outside the solver; withInf sprinkles
+// in infinite capacities.
+type feasEdge struct {
+	id   int
+	u, v int
+	cap  float64
+	inf  bool
+}
+
+func feasibilityNetwork(rng *rand.Rand, withInf bool) (*Network, []feasEdge) {
+	n := 4 + rng.Intn(10)
+	g := New(n, 0, n-1)
+	var edges []feasEdge
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || rng.Float64() >= 0.35 {
+				continue
+			}
+			c := float64(1 + rng.Intn(12))
+			if withInf && rng.Intn(7) == 0 {
+				c = math.Inf(1)
+			}
+			id := g.AddEdge(u, v, c)
+			edges = append(edges, feasEdge{id: id, u: u, v: v, cap: c, inf: math.IsInf(c, 1)})
+		}
+	}
+	return g, edges
+}
+
+// TestFlowFeasibilityAllSolvers reconstructs the full flow of every
+// registered solver from Flow(id) alone and asserts it is feasible:
+// each edge within [0, capacity], conservation at every internal
+// vertex, and source/sink net flow equal to Value; bounded instances
+// additionally satisfy min-cut duality.
+func TestFlowFeasibilityAllSolvers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4021))
+	for trial := 0; trial < 60; trial++ {
+		g, edges := feasibilityNetwork(rng, trial%2 == 1)
+		for _, s := range solvers {
+			r := s.run(g.Clone())
+			n := g.NumVertices()
+			net := make([]float64, n)
+			for _, e := range edges {
+				f := r.Flow(e.id)
+				if f < -1e-9 {
+					t.Fatalf("%s trial %d: edge %d carries negative flow %g", s.name, trial, e.id, f)
+				}
+				if !e.inf && f > e.cap+1e-9 {
+					t.Fatalf("%s trial %d: edge %d flow %g exceeds capacity %g", s.name, trial, e.id, f, e.cap)
+				}
+				net[e.u] -= f
+				net[e.v] += f
+			}
+			for v := 0; v < n; v++ {
+				want := 0.0
+				switch v {
+				case g.Source():
+					want = -r.Value
+				case g.Sink():
+					want = r.Value
+				}
+				if math.Abs(net[v]-want) > 1e-9 {
+					t.Fatalf("%s trial %d: vertex %d violates conservation: net %g, want %g",
+						s.name, trial, v, net[v], want)
+				}
+			}
+			if r.IsInfinite() {
+				continue
+			}
+			if w := r.CutWeight(); math.Abs(w-r.Value) > 1e-9 {
+				t.Fatalf("%s trial %d: cut weight %g != flow value %g", s.name, trial, w, r.Value)
+			}
+		}
+	}
+}
+
+// TestAddEdgeAfterSolvePanicsAllSolvers holds every registered solver
+// to the arc-pool finalization contract: once any of them has run,
+// the CSR layout is frozen and AddEdge must panic.
+func TestAddEdgeAfterSolvePanicsAllSolvers(t *testing.T) {
+	for _, s := range solvers {
+		g := New(3, 0, 2)
+		g.AddEdge(0, 1, 2)
+		g.AddEdge(1, 2, 3)
+		s.run(g)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: AddEdge after solving did not panic", s.name)
+				}
+			}()
+			g.AddEdge(0, 2, 1)
+		}()
+	}
+}
+
+// TestResetResolves solves, resets, and solves again with a different
+// solver: the instance must be fully restored, including Flow queries.
+func TestResetResolves(t *testing.T) {
+	for _, s := range solvers {
+		g := clrsNetwork()
+		if v := Dinic(g).Value; v != 23 {
+			t.Fatalf("first solve: %g", v)
+		}
+		g.Reset()
+		r := s.run(g)
+		if r.Value != 23 {
+			t.Errorf("%s after Reset: Value = %g, want 23", s.name, r.Value)
+		}
+		if w := r.CutWeight(); w != 23 {
+			t.Errorf("%s after Reset: CutWeight = %g, want 23", s.name, w)
+		}
+	}
+}

@@ -42,6 +42,15 @@ func FuzzMaxflowSolversAgree(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 255})                                   // infinite s->t: unbounded
 	f.Add([]byte{2, 0, 1, 9, 0, 2, 4, 1, 3, 2, 2, 3, 8, 1, 2, 1}) // diamond with cross edge
 	f.Add([]byte{4})                                              // no edges: zero flow
+	// 10-vertex bottleneck chain with a unit outlet: 14 units of
+	// preflow must drain back to the source, exercising the gap-lift
+	// drain path in PushRelabelHL.
+	f.Add([]byte{8, 0, 1, 15, 1, 2, 15, 2, 3, 15, 3, 4, 15, 4, 5, 15, 5, 6, 15, 6, 7, 15, 7, 8, 15, 8, 9, 1})
+	// Two parallel bottleneck chains: every height level stays
+	// populated while trapped excess climbs, so the drain exercises
+	// relabel climbs and the periodic global-relabel trigger instead
+	// of gap lifts.
+	f.Add([]byte{8, 0, 2, 15, 2, 3, 15, 3, 4, 15, 4, 9, 1, 0, 5, 15, 5, 6, 15, 6, 7, 15, 7, 9, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g := decodeNetwork(data)
 		if g == nil {

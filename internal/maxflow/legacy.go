@@ -1,0 +1,82 @@
+package maxflow
+
+// DinicLegacy is the pre-CSR Dinic implementation, retained — like
+// domgraph.BuildNaive and chains.DecomposeGenericScalar — as an
+// in-tree baseline and differential oracle. It materializes the old
+// slice-of-slices adjacency (one []int32 of arc indices per vertex)
+// and walks it exactly as the original engine did, so benchmarks can
+// measure what the pointer-chasing layout cost; the arc data itself
+// still lives in the CSR arrays, which only flatters the baseline.
+// The network is consumed; Clone first to keep the original.
+func DinicLegacy(g *Network) Result {
+	g.prepare()
+	adj := make([][]int32, g.n)
+	for i, a := range g.edgeArc {
+		adj[g.eu[i]] = append(adj[g.eu[i]], a)
+		adj[g.ev[i]] = append(adj[g.ev[i]], g.arcRev[a])
+	}
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[g.source] = 0
+		queue = append(queue[:0], g.source)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, a := range adj[u] {
+				v := g.arcTo[a]
+				if g.arcCap[a] > 0 && level[v] < 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, int(v))
+				}
+			}
+		}
+		return level[g.sink] >= 0
+	}
+
+	var dfs func(u int, limit float64) float64
+	dfs = func(u int, limit float64) float64 {
+		if u == g.sink {
+			return limit
+		}
+		for ; iter[u] < len(adj[u]); iter[u]++ {
+			a := adj[u][iter[u]]
+			v := g.arcTo[a]
+			if g.arcCap[a] <= 0 || level[v] != level[u]+1 {
+				continue
+			}
+			pushed := limit
+			if g.arcCap[a] < pushed {
+				pushed = g.arcCap[a]
+			}
+			got := dfs(int(v), pushed)
+			if got > 0 {
+				g.arcCap[a] -= got
+				g.arcCap[g.arcRev[a]] += got
+				return got
+			}
+		}
+		level[u] = -1 // dead end for the rest of this phase
+		return 0
+	}
+
+	var value float64
+	limit := g.finiteSum + 1 // exceeds any achievable augmentation
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			got := dfs(g.source, limit)
+			if got <= 0 {
+				break
+			}
+			value += got
+		}
+	}
+	return Result{Value: value, g: g}
+}

@@ -11,12 +11,16 @@ type solver struct {
 	run  func(*Network) Result
 }
 
-var solvers = []solver{
-	{"Dinic", Dinic},
-	{"PushRelabel", PushRelabel},
-	{"EdmondsKarp", EdmondsKarp},
-	{"CapacityScaling", CapacityScaling},
-}
+// solvers enumerates every registered implementation, so each test in
+// this file automatically covers solvers added to the registry.
+var solvers = func() []solver {
+	impls := Solvers()
+	var out []solver
+	for _, name := range SolverNames() {
+		out = append(out, solver{name, impls[name]})
+	}
+	return out
+}()
 
 // classic CLRS-style example with known max flow 23.
 func clrsNetwork() *Network {

@@ -1,9 +1,17 @@
 // Package maxflow implements the max-flow / min-cut substrate of
-// Section 2 and Section 5 of the paper. It provides three solvers —
-// Dinic's algorithm, Goldberg–Tarjan FIFO push-relabel (the O(V³)
-// algorithm the paper cites), and Edmonds–Karp as a simple reference —
-// plus extraction of a minimum-weight cut-edge set via the residual
-// reachability construction in the proof of Lemma 8.
+// Section 2 and Section 5 of the paper: Dinic's algorithm, two
+// Goldberg–Tarjan push-relabel variants (FIFO with the gap heuristic,
+// and highest-label with periodic global relabeling — the practical
+// workhorse), Edmonds–Karp and capacity scaling as independently
+// simple references, plus extraction of a minimum-weight cut-edge set
+// via the residual reachability construction in the proof of Lemma 8.
+//
+// The residual graph lives in a compressed-sparse-row (CSR) arc pool:
+// prepare() finalizes the added edges into flat arrays where every
+// vertex's arcs are contiguous (arcStart[u]..arcStart[u+1]), so the
+// hot loops of every solver — and of SourceSide — walk sequential
+// memory instead of chasing a slice-of-slices adjacency. A Workspace
+// (see workspace.go) makes repeated solves allocation-free.
 //
 // Capacities are float64 and may be math.Inf(1); infinite capacities
 // are internally replaced by a finite value exceeding every possible
@@ -18,18 +26,31 @@ import (
 )
 
 // Network is a flow network over vertices 0..n-1 with designated
-// source and sink. Edges are stored as residual arc pairs: arcs 2k and
-// 2k+1 are mutual reverses.
+// source and sink. AddEdge records edges into flat per-edge arrays;
+// the first solve finalizes them into the CSR arc pool (prepare), and
+// arcs are addressed by their CSR index from then on. Each edge
+// contributes a forward arc and a reverse arc (arcRev maps between
+// them); residual capacities live in arcCap.
 type Network struct {
 	n            int
 	source, sink int
-	to           []int     // arc target
-	cap          []float64 // remaining residual capacity
-	orig         []float64 // original capacity (0 for pure reverse arcs)
-	infinite     []bool    // whether the arc was added with cap = +Inf
-	adj          [][]int32 // adjacency: arc indices per vertex
-	finiteSum    float64   // sum of finite original capacities
-	prepared     bool
+
+	// Per-edge ingestion arrays, in AddEdge order (edge id = index).
+	eu, ev    []int32   // endpoints
+	ecap      []float64 // capacity as given (may be +Inf)
+	einf      []bool    // added with cap = +Inf
+	finiteSum float64   // sum of finite capacities
+
+	// CSR arc pool, built by prepare. Arc a has target arcTo[a],
+	// residual capacity arcCap[a], and reverse arc arcRev[a]; the arcs
+	// of vertex u are arcStart[u]..arcStart[u+1].
+	prepared bool
+	huge     float64 // finiteSum + 1: stands in for +Inf
+	arcStart []int32 // len n+1
+	arcTo    []int32 // len 2·NumEdges
+	arcRev   []int32
+	arcCap   []float64
+	edgeArc  []int32 // edge id -> its forward arc
 }
 
 // New creates a network with n vertices, a source, and a sink. Source
@@ -41,14 +62,14 @@ func New(n, source, sink int) *Network {
 	if source < 0 || source >= n || sink < 0 || sink >= n || source == sink {
 		panic(fmt.Sprintf("maxflow: bad source/sink %d/%d for n=%d", source, sink, n))
 	}
-	return &Network{n: n, source: source, sink: sink, adj: make([][]int32, n)}
+	return &Network{n: n, source: source, sink: sink}
 }
 
 // NumVertices returns the number of vertices.
 func (g *Network) NumVertices() int { return g.n }
 
 // NumEdges returns the number of added (forward) edges.
-func (g *Network) NumEdges() int { return len(g.to) / 2 }
+func (g *Network) NumEdges() int { return len(g.eu) }
 
 // Source returns the source vertex.
 func (g *Network) Source() int { return g.source }
@@ -70,35 +91,81 @@ func (g *Network) AddEdge(u, v int, capacity float64) int {
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("maxflow: invalid capacity %g", capacity))
 	}
-	id := len(g.to) / 2
+	id := len(g.eu)
 	inf := math.IsInf(capacity, 1)
 	if !inf {
 		g.finiteSum += capacity
 	}
-	g.to = append(g.to, v, u)
-	g.cap = append(g.cap, capacity, 0)
-	g.orig = append(g.orig, capacity, 0)
-	g.infinite = append(g.infinite, inf, false)
-	g.adj[u] = append(g.adj[u], int32(2*id))
-	g.adj[v] = append(g.adj[v], int32(2*id+1))
+	g.eu = append(g.eu, int32(u))
+	g.ev = append(g.ev, int32(v))
+	g.ecap = append(g.ecap, capacity)
+	g.einf = append(g.einf, inf)
 	return id
 }
 
-// prepare replaces infinite capacities by finiteSum + 1, a value larger
-// than the weight of any cut made of finite edges, so they can never
-// participate in a minimum cut and arithmetic stays finite.
+// prepare finalizes the edge list into the CSR arc pool. Infinite
+// capacities become finiteSum + 1, a value larger than the weight of
+// any cut made of finite edges, so they can never participate in a
+// minimum cut and arithmetic stays finite. Within a vertex, arcs keep
+// AddEdge order, so solver traversal is deterministic.
 func (g *Network) prepare() {
 	if g.prepared {
 		return
 	}
-	huge := g.finiteSum + 1
-	for a := range g.cap {
-		if g.infinite[a] {
-			g.cap[a] = huge
-			g.orig[a] = huge
-		}
+	g.huge = g.finiteSum + 1
+	m := len(g.eu)
+	g.arcStart = make([]int32, g.n+1)
+	for i := 0; i < m; i++ {
+		g.arcStart[g.eu[i]+1]++
+		g.arcStart[g.ev[i]+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		g.arcStart[v+1] += g.arcStart[v]
+	}
+	g.arcTo = make([]int32, 2*m)
+	g.arcRev = make([]int32, 2*m)
+	g.arcCap = make([]float64, 2*m)
+	g.edgeArc = make([]int32, m)
+	next := make([]int32, g.n)
+	copy(next, g.arcStart[:g.n])
+	for i := 0; i < m; i++ {
+		u, v := g.eu[i], g.ev[i]
+		a := next[u]
+		next[u]++
+		b := next[v]
+		next[v]++
+		g.arcTo[a] = v
+		g.arcTo[b] = u
+		g.arcRev[a] = b
+		g.arcRev[b] = a
+		g.arcCap[a] = g.preparedCap(i)
+		g.arcCap[b] = 0
+		g.edgeArc[i] = a
 	}
 	g.prepared = true
+}
+
+// preparedCap is edge i's capacity after infinity finitization.
+func (g *Network) preparedCap(i int) float64 {
+	if g.einf[i] {
+		return g.huge
+	}
+	return g.ecap[i]
+}
+
+// Reset restores every residual capacity to its original value so the
+// same instance can be solved again (e.g. by a different solver, or
+// after Workspace-backed batch re-solves) without reallocating or
+// rebuilding the CSR pool. It is a no-op before the first solve.
+func (g *Network) Reset() {
+	if !g.prepared {
+		return
+	}
+	for i := range g.edgeArc {
+		a := g.edgeArc[i]
+		g.arcCap[a] = g.preparedCap(i)
+		g.arcCap[g.arcRev[a]] = 0
+	}
 }
 
 // Clone returns a deep copy of the network in its current state, so
@@ -106,16 +173,20 @@ func (g *Network) prepare() {
 func (g *Network) Clone() *Network {
 	cp := &Network{
 		n: g.n, source: g.source, sink: g.sink,
-		to:        append([]int(nil), g.to...),
-		cap:       append([]float64(nil), g.cap...),
-		orig:      append([]float64(nil), g.orig...),
-		infinite:  append([]bool(nil), g.infinite...),
-		adj:       make([][]int32, g.n),
+		eu:        append([]int32(nil), g.eu...),
+		ev:        append([]int32(nil), g.ev...),
+		ecap:      append([]float64(nil), g.ecap...),
+		einf:      append([]bool(nil), g.einf...),
 		finiteSum: g.finiteSum,
 		prepared:  g.prepared,
+		huge:      g.huge,
 	}
-	for v := range g.adj {
-		cp.adj[v] = append([]int32(nil), g.adj[v]...)
+	if g.prepared {
+		cp.arcStart = append([]int32(nil), g.arcStart...)
+		cp.arcTo = append([]int32(nil), g.arcTo...)
+		cp.arcRev = append([]int32(nil), g.arcRev...)
+		cp.arcCap = append([]float64(nil), g.arcCap...)
+		cp.edgeArc = append([]int32(nil), g.edgeArc...)
 	}
 	return cp
 }
@@ -131,11 +202,10 @@ type Result struct {
 // Flow returns the amount of flow carried by the edge with the given
 // identifier (as returned by AddEdge).
 func (r Result) Flow(edgeID int) float64 {
-	a := 2 * edgeID
-	if a < 0 || a >= len(r.g.to) {
+	if edgeID < 0 || edgeID >= len(r.g.edgeArc) {
 		panic(fmt.Sprintf("maxflow: edge id %d out of range", edgeID))
 	}
-	return r.g.orig[a] - r.g.cap[a]
+	return r.g.preparedCap(edgeID) - r.g.arcCap[r.g.edgeArc[edgeID]]
 }
 
 // IsInfinite reports whether the instance admits unbounded flow, i.e.
@@ -147,17 +217,18 @@ func (r Result) IsInfinite() bool { return r.Value > r.g.finiteSum }
 // vertices reachable from the source in the residual network. Together
 // with its complement it forms the minimum source-sink cut of Lemma 7.
 func (r Result) SourceSide() []bool {
-	reach := make([]bool, r.g.n)
-	reach[r.g.source] = true
-	queue := []int{r.g.source}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, a := range r.g.adj[u] {
-			if r.g.cap[a] <= 0 {
+	g := r.g
+	reach := make([]bool, g.n)
+	reach[g.source] = true
+	queue := make([]int32, 1, g.n)
+	queue[0] = int32(g.source)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for a := g.arcStart[u]; a < g.arcStart[u+1]; a++ {
+			if g.arcCap[a] <= 0 {
 				continue
 			}
-			v := r.g.to[a]
+			v := g.arcTo[a]
 			if !reach[v] {
 				reach[v] = true
 				queue = append(queue, v)
@@ -182,13 +253,13 @@ type CutEdge struct {
 func (r Result) CutEdges() []CutEdge {
 	side := r.SourceSide()
 	var out []CutEdge
-	for a := 0; a < len(r.g.to); a += 2 {
-		u, v := r.g.to[a+1], r.g.to[a]
+	for i := range r.g.eu {
+		u, v := r.g.eu[i], r.g.ev[i]
 		if side[u] && !side[v] {
-			if r.g.infinite[a] {
+			if r.g.einf[i] {
 				panic("maxflow: minimum cut uses an infinite-capacity edge (unbounded instance)")
 			}
-			out = append(out, CutEdge{ID: a / 2, From: u, To: v, Capacity: r.g.orig[a]})
+			out = append(out, CutEdge{ID: i, From: int(u), To: int(v), Capacity: r.g.ecap[i]})
 		}
 	}
 	return out

@@ -3,70 +3,78 @@ package maxflow
 // PushRelabel computes a maximum flow with the Goldberg–Tarjan
 // push-relabel method [14] using FIFO vertex selection and the gap
 // heuristic, the O(V³) algorithm the paper plugs into Theorem 4's
-// T_maxflow(n) term. The network is consumed; Clone first to keep the
-// original.
+// T_maxflow(n) term. The active queue is a fixed-size ring buffer (at
+// most n-2 vertices are ever queued at once), so dequeuing is O(1)
+// with no head-shift reslicing. For the heuristically stronger
+// highest-label variant see PushRelabelHL. The network is consumed;
+// Clone first to keep the original.
 func PushRelabel(g *Network) Result {
 	g.prepare()
 	n := g.n
-	height := make([]int, n)
+	height := make([]int32, n)
 	excess := make([]float64, n)
-	current := make([]int, n)
+	current := make([]int32, n) // current arc, absolute CSR index
 	inQueue := make([]bool, n)
-	count := make([]int, 2*n+1) // vertices per height, for the gap heuristic
+	count := make([]int32, 2*n+1) // vertices per height, for the gap heuristic
+	copy(current, g.arcStart[:n])
 
 	push := func(a int32, amount float64) {
-		g.cap[a] -= amount
-		g.cap[a^1] += amount
+		g.arcCap[a] -= amount
+		g.arcCap[g.arcRev[a]] += amount
 	}
 
-	queue := make([]int, 0, n)
-	enqueue := func(v int) {
-		if !inQueue[v] && v != g.source && v != g.sink && excess[v] > 0 {
+	// FIFO active set as a ring buffer: inQueue caps occupancy at n.
+	ring := make([]int32, n)
+	ringHead, ringLen := 0, 0
+	enqueue := func(v int32) {
+		if !inQueue[v] && int(v) != g.source && int(v) != g.sink && excess[v] > 0 {
 			inQueue[v] = true
-			queue = append(queue, v)
+			ring[(ringHead+ringLen)%n] = v
+			ringLen++
 		}
 	}
 
 	// Initialization: the source sits at height n and saturates all
 	// its outgoing arcs, creating the initial preflow.
-	height[g.source] = n
-	count[0] = n - 1
+	src := int32(g.source)
+	height[src] = int32(n)
+	count[0] = int32(n - 1)
 	count[n]++
-	for _, a := range g.adj[g.source] {
-		if g.cap[a] <= 0 {
+	for a := g.arcStart[src]; a < g.arcStart[src+1]; a++ {
+		if g.arcCap[a] <= 0 {
 			continue
 		}
-		amount := g.cap[a]
-		v := g.to[a]
+		amount := g.arcCap[a]
+		v := g.arcTo[a]
 		push(a, amount)
 		excess[v] += amount
-		excess[g.source] -= amount
+		excess[src] -= amount
 		enqueue(v)
 	}
 
 	// gap lifts every vertex stranded above an empty height level
 	// straight past n; such vertices can only return flow to the
 	// source, never reach the sink again.
-	gap := func(h int) {
-		for v := 0; v < n; v++ {
-			if v == g.source || height[v] <= h || height[v] >= n {
+	gap := func(h int32) {
+		for v := int32(0); v < int32(n); v++ {
+			if v == src || height[v] <= h || height[v] >= int32(n) {
 				continue
 			}
 			count[height[v]]--
-			height[v] = n + 1
+			height[v] = int32(n + 1)
 			count[height[v]]++
-			current[v] = 0
+			current[v] = g.arcStart[v]
 		}
 	}
 
-	relabel := func(u int) {
-		minH := 2 * n // a vertex with excess always has a residual arc
-		for _, a := range g.adj[u] {
-			if g.cap[a] > 0 && height[g.to[a]] < minH {
-				minH = height[g.to[a]]
+	relabel := func(u int32) {
+		minH := int32(2 * n) // a vertex with excess always has a residual arc
+		for a := g.arcStart[u]; a < g.arcStart[u+1]; a++ {
+			if g.arcCap[a] > 0 && height[g.arcTo[a]] < minH {
+				minH = height[g.arcTo[a]]
 			}
 		}
-		if minH == 2*n {
+		if minH == int32(2*n) {
 			// A vertex with positive excess received a push, so its
 			// reverse arc has positive residual capacity; this branch
 			// is unreachable on a consistent network.
@@ -76,24 +84,24 @@ func PushRelabel(g *Network) Result {
 		count[old]--
 		height[u] = minH + 1 // <= 2n-1+1, within the count array
 		count[height[u]]++
-		current[u] = 0
-		if count[old] == 0 && old < n {
+		current[u] = g.arcStart[u]
+		if count[old] == 0 && old < int32(n) {
 			gap(old)
 		}
 	}
 
-	discharge := func(u int) {
+	discharge := func(u int32) {
 		for excess[u] > 0 {
-			if current[u] == len(g.adj[u]) {
+			if current[u] == g.arcStart[u+1] {
 				relabel(u)
 				continue
 			}
-			a := g.adj[u][current[u]]
-			v := g.to[a]
-			if g.cap[a] > 0 && height[u] == height[v]+1 {
+			a := current[u]
+			v := g.arcTo[a]
+			if g.arcCap[a] > 0 && height[u] == height[v]+1 {
 				amount := excess[u]
-				if g.cap[a] < amount {
-					amount = g.cap[a]
+				if g.arcCap[a] < amount {
+					amount = g.arcCap[a]
 				}
 				push(a, amount)
 				excess[u] -= amount
@@ -105,9 +113,10 @@ func PushRelabel(g *Network) Result {
 		}
 	}
 
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for ringLen > 0 {
+		u := ring[ringHead]
+		ringHead = (ringHead + 1) % n
+		ringLen--
 		inQueue[u] = false
 		discharge(u)
 	}

@@ -13,14 +13,14 @@ func CapacityScaling(g *Network) Result {
 	g.prepare()
 	// Largest finite capacity bounds the starting threshold.
 	maxCap := 0.0
-	for _, c := range g.cap {
+	for _, c := range g.arcCap {
 		if c > maxCap {
 			maxCap = c
 		}
 	}
 	parentArc := make([]int32, g.n)
 	visited := make([]bool, g.n)
-	queue := make([]int, 0, g.n)
+	queue := make([]int32, 0, g.n)
 
 	// augmentAtLeast finds one source-sink path of bottleneck >= delta
 	// (DFS-free BFS variant) and augments along it; reports success.
@@ -29,19 +29,18 @@ func CapacityScaling(g *Network) Result {
 			visited[i] = false
 		}
 		visited[g.source] = true
-		queue = queue[:0]
-		queue = append(queue, g.source)
+		queue = append(queue[:0], int32(g.source))
 		found := false
 		for head := 0; head < len(queue) && !found; head++ {
 			u := queue[head]
-			for _, a := range g.adj[u] {
-				v := g.to[a]
-				if visited[v] || g.cap[a] < delta {
+			for a := g.arcStart[u]; a < g.arcStart[u+1]; a++ {
+				v := g.arcTo[a]
+				if visited[v] || g.arcCap[a] < delta {
 					continue
 				}
 				visited[v] = true
 				parentArc[v] = a
-				if v == g.sink {
+				if int(v) == g.sink {
 					found = true
 					break
 				}
@@ -54,16 +53,16 @@ func CapacityScaling(g *Network) Result {
 		bottleneck := g.finiteSum + 1
 		for v := g.sink; v != g.source; {
 			a := parentArc[v]
-			if g.cap[a] < bottleneck {
-				bottleneck = g.cap[a]
+			if g.arcCap[a] < bottleneck {
+				bottleneck = g.arcCap[a]
 			}
-			v = g.to[a^1]
+			v = int(g.arcTo[g.arcRev[a]])
 		}
 		for v := g.sink; v != g.source; {
 			a := parentArc[v]
-			g.cap[a] -= bottleneck
-			g.cap[a^1] += bottleneck
-			v = g.to[a^1]
+			g.arcCap[a] -= bottleneck
+			g.arcCap[g.arcRev[a]] += bottleneck
+			v = int(g.arcTo[g.arcRev[a]])
 		}
 		return bottleneck, true
 	}
@@ -105,7 +104,7 @@ func CapacityScaling(g *Network) Result {
 // network is saturated and any Δ terminates).
 func smallestPositiveResidual(g *Network) float64 {
 	min := g.finiteSum + 1
-	for _, c := range g.cap {
+	for _, c := range g.arcCap {
 		if c > 0 && c < min {
 			min = c
 		}

@@ -1,25 +1,40 @@
 package maxflow
 
 // Solver is the common signature of every max-flow implementation in
-// this package. All four consume the network they are given; Clone
-// first to keep the original.
+// this package. All of them consume the network they are given; Clone
+// first to keep the original, or Reset it to solve again.
 type Solver func(*Network) Result
 
 // SolverNames lists the implementations in a fixed, deterministic
 // order, so differential tests and reports enumerate them stably.
+// "pushrelabelhl" is the default engine (highest-label + global
+// relabeling); "pushrelabelhl-pooled" is the same engine drawing its
+// workspace from a sync.Pool; "dinic-legacy" is the pre-CSR adjacency
+// baseline kept as an oracle and benchmark yardstick.
 func SolverNames() []string {
-	return []string{"dinic", "pushrelabel", "edmondskarp", "capacityscaling"}
+	return []string{
+		"dinic",
+		"pushrelabelhl",
+		"pushrelabelhl-pooled",
+		"pushrelabel",
+		"edmondskarp",
+		"capacityscaling",
+		"dinic-legacy",
+	}
 }
 
 // Solvers maps each name from SolverNames to its implementation. The
-// four are deliberately redundant — same contract, different
-// algorithms — and the conformance harness holds them to bit-level
-// agreement on flow value and cut validity.
+// implementations are deliberately redundant — same contract,
+// different algorithms — and the conformance harness holds them to
+// bit-level agreement on flow value and cut validity.
 func Solvers() map[string]Solver {
 	return map[string]Solver{
-		"dinic":           Dinic,
-		"pushrelabel":     PushRelabel,
-		"edmondskarp":     EdmondsKarp,
-		"capacityscaling": CapacityScaling,
+		"dinic":                Dinic,
+		"pushrelabelhl":        PushRelabelHL,
+		"pushrelabelhl-pooled": PushRelabelHLPooled,
+		"pushrelabel":          PushRelabel,
+		"edmondskarp":          EdmondsKarp,
+		"capacityscaling":      CapacityScaling,
+		"dinic-legacy":         DinicLegacy,
 	}
 }

@@ -1,0 +1,165 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bottleneckChain builds source -> v1 -> ... -> vk -> sink with wide
+// interior capacities and a unit outlet, so almost all of the initial
+// preflow must drain back to the source. With a single chain the gap
+// heuristic short-circuits the drain (every level empties as its one
+// vertex climbs), so this exercises the gap path, not the periodic
+// global relabel.
+func bottleneckChain(k int) *Network {
+	g := New(k+2, 0, k+1)
+	g.AddEdge(0, 1, 100)
+	for i := 1; i < k; i++ {
+		g.AddEdge(i, i+1, 100)
+	}
+	g.AddEdge(k, k+1, 1)
+	return g
+}
+
+// parallelBottleneck builds p disjoint bottleneck chains of length k
+// sharing one source and sink. Every height level holds one vertex per
+// chain, so no level ever empties while trapped excess climbs — the
+// gap heuristic stays silent and the drain has to grind out unit
+// relabels until the work counter forces a periodic global relabel,
+// whose exact labels then finish the drain at once.
+func parallelBottleneck(p, k int) *Network {
+	g := New(2+p*k, 0, 1)
+	for c := 0; c < p; c++ {
+		base := 2 + c*k
+		g.AddEdge(0, base, 100)
+		for i := 0; i < k-1; i++ {
+			g.AddEdge(base+i, base+i+1, 100)
+		}
+		g.AddEdge(base+k-1, 1, 1)
+	}
+	return g
+}
+
+// TestGlobalRelabelTriggered drives the highest-label engine past its
+// work budget: beyond the initial exact-distance labeling, at least
+// one periodic global relabel must fire, and the answer must agree
+// with Dinic.
+func TestGlobalRelabelTriggered(t *testing.T) {
+	g := parallelBottleneck(4, 64)
+	ws := NewWorkspace()
+	r := SolveWith(ws, g.Clone())
+	if r.Value != 4 {
+		t.Fatalf("Value = %g, want 4", r.Value)
+	}
+	if ws.Stats.GlobalRelabels < 2 {
+		t.Errorf("GlobalRelabels = %d, want >= 2 (initial + periodic)", ws.Stats.GlobalRelabels)
+	}
+	if ws.Stats.Pushes == 0 || ws.Stats.Relabels == 0 {
+		t.Errorf("stats not recorded: %+v", ws.Stats)
+	}
+	if ref := Dinic(g); math.Abs(ref.Value-r.Value) > 1e-9 {
+		t.Errorf("disagrees with Dinic: %g vs %g", r.Value, ref.Value)
+	}
+}
+
+// TestGapHeuristicTriggered pins the complementary heuristic: on a
+// single bottleneck chain the drain must ride gap lifts, not relabel
+// climbs — and still agree with Dinic.
+func TestGapHeuristicTriggered(t *testing.T) {
+	g := bottleneckChain(64)
+	ws := NewWorkspace()
+	r := SolveWith(ws, g.Clone())
+	if r.Value != 1 {
+		t.Fatalf("Value = %g, want 1", r.Value)
+	}
+	if ws.Stats.Gaps == 0 {
+		t.Errorf("Gaps = 0, want > 0: %+v", ws.Stats)
+	}
+	if ref := Dinic(g); math.Abs(ref.Value-r.Value) > 1e-9 {
+		t.Errorf("disagrees with Dinic: %g vs %g", r.Value, ref.Value)
+	}
+}
+
+// TestWorkspaceReuseAcrossSizes solves a shrinking and growing
+// sequence of random networks with one workspace, checking each
+// result against Dinic: stale scratch from a previous (larger or
+// smaller) solve must never leak into the next one.
+func TestWorkspaceReuseAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	ws := NewWorkspace()
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(24)
+		g := New(n, 0, n-1)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.3 {
+					c := float64(1 + rng.Intn(15))
+					if rng.Intn(9) == 0 {
+						c = math.Inf(1)
+					}
+					g.AddEdge(u, v, c)
+				}
+			}
+		}
+		got := SolveWith(ws, g.Clone())
+		want := Dinic(g)
+		if got.IsInfinite() != want.IsInfinite() {
+			t.Fatalf("trial %d (n=%d): boundedness %v vs %v", trial, n, got.IsInfinite(), want.IsInfinite())
+		}
+		if !got.IsInfinite() && math.Abs(got.Value-want.Value) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): value %g, Dinic %g", trial, n, got.Value, want.Value)
+		}
+	}
+}
+
+// passiveStyleNetwork mimics the Theorem 4 topology at small scale:
+// bipartite weighted source/sink edges plus ∞ reachability edges.
+func passiveStyleNetwork(rng *rand.Rand, half int) *Network {
+	n := 2 + 2*half
+	g := New(n, 0, 1)
+	for i := 0; i < half; i++ {
+		g.AddEdge(0, 2+i, float64(1+rng.Intn(9)))
+		g.AddEdge(2+half+i, 1, float64(1+rng.Intn(9)))
+	}
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			if rng.Float64() < 0.3 {
+				g.AddEdge(2+i, 2+half+j, math.Inf(1))
+			}
+		}
+	}
+	return g
+}
+
+// TestSolveWithZeroAllocsOnResolve is the allocation-free re-solve
+// contract: once the workspace and the CSR pool are warm, Reset +
+// SolveWith must not allocate at all.
+func TestSolveWithZeroAllocsOnResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := passiveStyleNetwork(rng, 40)
+	ws := NewWorkspace()
+	SolveWith(ws, g) // warm the workspace and finalize the CSR pool
+	allocs := testing.AllocsPerRun(50, func() {
+		g.Reset()
+		SolveWith(ws, g)
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+SolveWith allocates %v times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkWorkspaceResolve is the workspace re-solve benchmark wired
+// into BENCH_maxflow.json: b.ReportAllocs must show 0 allocs/op.
+func BenchmarkWorkspaceResolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := passiveStyleNetwork(rng, 256)
+	ws := NewWorkspace()
+	SolveWith(ws, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		SolveWith(ws, g)
+	}
+}

@@ -34,7 +34,9 @@ type FlowSolver func(*maxflow.Network) maxflow.Result
 
 // Options configures Solve.
 type Options struct {
-	// Solver is the max-flow algorithm to use; Dinic when nil.
+	// Solver is the max-flow algorithm to use; the workspace-pooled
+	// highest-label push-relabel engine (maxflow.PushRelabelHLPooled)
+	// when nil.
 	Solver FlowSolver
 	// Dense forces the literal Section 5.1 construction with one
 	// ∞ edge per dominating pair (Θ(n²) edges worst case). The
@@ -59,6 +61,7 @@ type Stats struct {
 	Contending int     // |P^con|
 	GraphEdges int     // edges of the constructed network
 	FlowValue  float64 // max-flow value == optimal weighted error
+	Solver     string  // flow solver used: "pushrelabelhl-pooled" (default) or "custom"
 }
 
 // Solution is the result of solving Problem 2.
@@ -75,19 +78,27 @@ type Solution struct {
 	Stats Stats
 }
 
-// Solve computes an optimal monotone classifier for the fully-labeled
-// weighted set ws. The input must be non-empty, dimensionally
-// consistent, and carry positive finite weights.
-func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
+// builtGraph is the Section 5.1 network of one instance, with the
+// decoding metadata Solve needs to turn a min cut back into an
+// assignment.
+type builtGraph struct {
+	contending    []bool
+	numContending int
+	g             *maxflow.Network // nil when no points contend
+	// owner maps finite edge ids back to input indices. Finite
+	// source/sink edges are added before every ∞ edge, so their ids
+	// are exactly 0..len(owner)-1 — a dense slice, not a map, because
+	// the lookup sits on the cut-decode path.
+	owner []int32
+}
+
+// buildGraph validates ws and constructs its flow network.
+func buildGraph(ws geom.WeightedSet, opts Options) (builtGraph, error) {
 	if len(ws) == 0 {
-		return Solution{}, fmt.Errorf("passive: empty input set")
+		return builtGraph{}, fmt.Errorf("passive: empty input set")
 	}
 	if err := ws.Validate(); err != nil {
-		return Solution{}, err
-	}
-	solver := opts.Solver
-	if solver == nil {
-		solver = maxflow.Dinic
+		return builtGraph{}, err
 	}
 
 	n := len(ws)
@@ -137,13 +148,6 @@ func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
 		contending = contendingPoints(ws, &ci)
 	}
 
-	// Assignment starts as the points' own labels; only contending
-	// points can change (Lemma 15).
-	assign := make([]geom.Label, n)
-	for i := range ws {
-		assign[i] = ws[i].Label
-	}
-
 	// Vertex numbering: 0 = source, 1 = sink, contending points at 2+.
 	vertex := make([]int, n)
 	nextV := 2
@@ -156,66 +160,105 @@ func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
 		}
 	}
 	numContending := nextV - 2
+	if numContending == 0 {
+		return builtGraph{contending: contending}, nil
+	}
+
+	const source, sink = 0, 1
+	g := maxflow.New(nextV, source, sink)
+	owner := make([]int32, 0, numContending)
+	for i := range ws {
+		if !contending[i] {
+			continue
+		}
+		switch ws[i].Label {
+		case geom.Negative:
+			g.AddEdge(source, vertex[i], ws[i].Weight)
+		case geom.Positive:
+			g.AddEdge(vertex[i], sink, ws[i].Weight)
+		}
+		owner = append(owner, int32(i))
+	}
+	if opts.Dense {
+		// Literal type-3 edges: one per dominating pair.
+		for i := range ws {
+			if !contending[i] || ws[i].Label != geom.Negative {
+				continue
+			}
+			for j := range ws {
+				if !contending[j] || ws[j].Label != geom.Positive {
+					continue
+				}
+				if geom.Dominates(ws[i].P, ws[j].P) {
+					g.AddEdge(vertex[i], vertex[j], math.Inf(1))
+				}
+			}
+		}
+	} else if km != nil {
+		// Sparsified reachability network on the kernel matrix.
+		for _, e := range sparseInfinityEdgesMatrix(km, kdec, contending) {
+			g.AddEdge(vertex[e.from], vertex[e.to], math.Inf(1))
+		}
+	} else {
+		// Sparsified reachability network (see sparse.go).
+		for _, e := range sparseInfinityEdges(ws, &ci, contending) {
+			g.AddEdge(vertex[e.from], vertex[e.to], math.Inf(1))
+		}
+	}
+	return builtGraph{contending: contending, numContending: numContending, g: g, owner: owner}, nil
+}
+
+// BuildNetwork constructs the Section 5.1 flow network of ws without
+// solving it: exactly the instance Solve hands its max-flow solver.
+// It returns nil (and no error) when no points contend — then the
+// input is already monotone-consistent and there is nothing to cut.
+// Benchmarks and tools use this to exercise flow solvers on genuine
+// passive-construction topologies.
+func BuildNetwork(ws geom.WeightedSet, opts Options) (*maxflow.Network, error) {
+	bg, err := buildGraph(ws, opts)
+	if err != nil {
+		return nil, err
+	}
+	return bg.g, nil
+}
+
+// Solve computes an optimal monotone classifier for the fully-labeled
+// weighted set ws. The input must be non-empty, dimensionally
+// consistent, and carry positive finite weights.
+func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
+	bg, err := buildGraph(ws, opts)
+	if err != nil {
+		return Solution{}, err
+	}
+	solver := opts.Solver
+	solverName := "custom"
+	if solver == nil {
+		solver = maxflow.PushRelabelHLPooled
+		solverName = "pushrelabelhl-pooled"
+	}
+
+	n := len(ws)
+	// Assignment starts as the points' own labels; only contending
+	// points can change (Lemma 15).
+	assign := make([]geom.Label, n)
+	for i := range ws {
+		assign[i] = ws[i].Label
+	}
 
 	var flowValue float64
 	graphEdges := 0
-	if numContending > 0 {
-		const source, sink = 0, 1
-		g := maxflow.New(nextV, source, sink)
-		// edgeOwner maps edge id -> input index, for decoding the cut.
-		edgeOwner := make(map[int]int)
-		for i := range ws {
-			if !contending[i] {
-				continue
-			}
-			switch ws[i].Label {
-			case geom.Negative:
-				id := g.AddEdge(source, vertex[i], ws[i].Weight)
-				edgeOwner[id] = i
-			case geom.Positive:
-				id := g.AddEdge(vertex[i], sink, ws[i].Weight)
-				edgeOwner[id] = i
-			}
-		}
-		if opts.Dense {
-			// Literal type-3 edges: one per dominating pair.
-			for i := range ws {
-				if !contending[i] || ws[i].Label != geom.Negative {
-					continue
-				}
-				for j := range ws {
-					if !contending[j] || ws[j].Label != geom.Positive {
-						continue
-					}
-					if geom.Dominates(ws[i].P, ws[j].P) {
-						g.AddEdge(vertex[i], vertex[j], math.Inf(1))
-					}
-				}
-			}
-		} else if km != nil {
-			// Sparsified reachability network on the kernel matrix.
-			for _, e := range sparseInfinityEdgesMatrix(km, kdec, contending) {
-				g.AddEdge(vertex[e.from], vertex[e.to], math.Inf(1))
-			}
-		} else {
-			// Sparsified reachability network (see sparse.go).
-			for _, e := range sparseInfinityEdges(ws, &ci, contending) {
-				g.AddEdge(vertex[e.from], vertex[e.to], math.Inf(1))
-			}
-		}
-		graphEdges = g.NumEdges()
-
-		res := solver(g)
+	if bg.g != nil {
+		graphEdges = bg.g.NumEdges()
+		res := solver(bg.g)
 		flowValue = res.Value
 		for _, cut := range res.CutEdges() {
-			i, ok := edgeOwner[cut.ID]
-			if !ok {
+			if cut.ID >= len(bg.owner) {
 				// CutEdges already panics on ∞ edges; reaching here
 				// would mean a finite type-3 edge, which cannot exist.
 				return Solution{}, fmt.Errorf("passive: cut contains unexpected edge %d", cut.ID)
 			}
 			// Cutting a point's own edge flips its assignment.
-			assign[i] ^= 1
+			assign[bg.owner[cut.ID]] ^= 1
 		}
 	}
 
@@ -235,9 +278,10 @@ func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
 		Assignment: assign,
 		Stats: Stats{
 			N:          n,
-			Contending: numContending,
+			Contending: bg.numContending,
 			GraphEdges: graphEdges,
 			FlowValue:  flowValue,
+			Solver:     solverName,
 		},
 	}, nil
 }

@@ -139,14 +139,16 @@ func TestSolveMatchesBestThreshold1D(t *testing.T) {
 
 func TestSolveAllSolversAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(107))
-	solvers := []FlowSolver{maxflow.Dinic, maxflow.PushRelabel, maxflow.EdmondsKarp, maxflow.CapacityScaling}
+	// Every registered max-flow implementation must yield the same
+	// optimum; new registry entries are covered automatically.
+	impls := maxflow.Solvers()
 	for trial := 0; trial < 40; trial++ {
 		ws := randWeightedSet(rng, 3+rng.Intn(20), 2, 5, true)
 		var vals []float64
-		for _, s := range solvers {
-			sol, err := Solve(ws, Options{Solver: s})
+		for _, name := range maxflow.SolverNames() {
+			sol, err := Solve(ws, Options{Solver: FlowSolver(impls[name])})
 			if err != nil {
-				t.Fatal(err)
+				t.Fatalf("%s: %v", name, err)
 			}
 			checkSolution(t, ws, sol)
 			vals = append(vals, sol.WErr)
