@@ -1,18 +1,20 @@
 # Developer entry points for the monoclass reproduction.
 #
 #   make check             build + vet + full test suite
-#   make race              race-detector pass over internal packages
+#   make race              race-detector pass over the whole module
 #   make conformance       quick differential/metamorphic engine run (CI gate)
 #   make conformance-long  soak run: more trials, larger instances
 #   make conformance-mutate self-test: injected bug must be caught
 #   make bench-domkernel   regenerate BENCH_domkernel.json (kernel vs scalar)
 #   make bench-maxflow     regenerate BENCH_maxflow.json (flow-solver engine)
+#   make bench-serve       regenerate BENCH_serve.json (serving layer loadgen)
+#   make serve-stress      long hot-swap/soak stress of the serving layer
 #   make verify            everything CI gates on, in order
 #   make verify-full       verify + the benchmark regenerations
 
 GO ?= go
 
-.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow verify verify-full clean
+.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-serve serve-stress verify verify-full clean
 
 all: check
 
@@ -28,7 +30,7 @@ test: build
 check: build vet test
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # Quick conformance gate: 200 seeded trials through every redundant
 # solver pair and metamorphic invariant, under the race detector.
@@ -67,9 +69,24 @@ else
 	$(GO) run ./cmd/benchtab -maxflow BENCH_maxflow.json -seed 42
 endif
 
+# Throughput/latency table for the serving layer across batching
+# configurations (cmd/loadgen). Takes ~1min; add QUICK=1 for a
+# seconds-scale smoke run that overwrites nothing.
+bench-serve:
+ifdef QUICK
+	$(GO) run ./cmd/loadgen -out /tmp/BENCH_serve.quick.json -seed 42 -quick
+else
+	$(GO) run ./cmd/loadgen -out BENCH_serve.json -seed 42
+endif
+
+# Heavier serving-layer adversarial pass: the hot-swap storm and HTTP
+# soak tests with boosted iteration counts, under the race detector.
+serve-stress:
+	SERVE_STRESS_N=50000 SERVE_SOAK_SECONDS=10 $(GO) test -race -run 'TestHotSwapStorm|TestHTTPSoak' -count=1 -v -timeout 20m ./internal/serve
+
 verify: build vet test race conformance conformance-mutate
 
-verify-full: verify bench-domkernel bench-maxflow
+verify-full: verify bench-domkernel bench-maxflow bench-serve
 
 clean:
 	$(GO) clean ./...

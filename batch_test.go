@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"monoclass"
+	"monoclass/internal/testutil"
 )
 
 // countingClassifier wraps a threshold and counts Classify calls, so
@@ -25,6 +26,7 @@ func (c *countingClassifier) Classify(p monoclass.Point) monoclass.Label {
 }
 
 func TestClassifyBatchEmpty(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	h := &countingClassifier{tau: 0}
 	out := monoclass.ClassifyBatch(h, nil)
 	if len(out) != 0 {
@@ -40,6 +42,7 @@ func TestClassifyBatchEmpty(t *testing.T) {
 }
 
 func TestClassifyBatchSingle(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	h := &countingClassifier{tau: 5}
 	out := monoclass.ClassifyBatch(h, []monoclass.Point{{7}})
 	if len(out) != 1 || out[0] != monoclass.Positive {
@@ -54,6 +57,7 @@ func TestClassifyBatchSingle(t *testing.T) {
 // pure reordering of work — positionally identical to a sequential
 // loop, with exactly one call per point.
 func TestClassifyBatchMatchesSequential(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(7))
 	for _, n := range []int{2, 3, 17, 256, 1001} {
 		pts := make([]monoclass.Point, n)
@@ -79,6 +83,7 @@ func TestClassifyBatchMatchesSequential(t *testing.T) {
 // TestClassifyBatchAnchorSet: the library's own classifier type through
 // the batch path, against point-by-point classification.
 func TestClassifyBatchAnchorSet(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	h, err := monoclass.NewAnchorSet(2, []monoclass.Point{{1, 3}, {3, 1}})
 	if err != nil {
 		t.Fatal(err)

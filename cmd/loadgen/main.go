@@ -1,0 +1,347 @@
+// Command loadgen replays datagen-style synthetic workloads against
+// the monoserve HTTP service and records throughput and latency, one
+// row per batching configuration, as machine-readable JSON
+// (BENCH_serve.json at the repo root).
+//
+// By default it spins up an in-process server per configuration — so
+// the numbers isolate the serving stack, not the network — trains the
+// initial model on a planted-distribution sample, then fires
+// single-point classify requests from concurrent keep-alive clients:
+//
+//	loadgen -out BENCH_serve.json                 # full run
+//	loadgen -out /tmp/q.json -quick               # seconds-scale smoke
+//	loadgen -url http://host:8080 -out out.json   # external server
+//
+// Configurations are "MAXBATCHxMAXWAIT" pairs: "1x0s" disables
+// coalescing (greedy dispatch), "32x2ms" holds batches open up to 2ms.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"monoclass"
+)
+
+// report is the top-level BENCH_serve.json shape, mirroring the other
+// BENCH_*.json files.
+type report struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	NumCPU      int         `json:"num_cpu"`
+	Seed        int64       `json:"seed"`
+	Kind        string      `json:"kind"`
+	N           int         `json:"n"`
+	Dim         int         `json:"dim"`
+	Rows        []configRow `json:"configs"`
+}
+
+// configRow is one batching configuration's measurements.
+type configRow struct {
+	MaxBatch      int     `json:"max_batch"`
+	MaxWaitMillis float64 `json:"max_wait_ms"`
+	Requests      int     `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Micros     float64 `json:"p50_us"`
+	P95Micros     float64 `json:"p95_us"`
+	P99Micros     float64 `json:"p99_us"`
+	MaxMicros     float64 `json:"max_us"`
+	Rejected      int64   `json:"rejected"`
+	Errors        int64   `json:"errors"`
+	MeanBatch     float64 `json:"mean_batch"`
+	Batches       int64   `json:"batches"`
+}
+
+// options collects the knobs so tests can call run directly.
+type options struct {
+	out         string
+	quick       bool
+	seed        int64
+	kind        string
+	n           int
+	dim         int
+	noise       float64
+	requests    int
+	concurrency int
+	configs     string
+	url         string
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.out, "out", "BENCH_serve.json", "output JSON path")
+	flag.BoolVar(&opt.quick, "quick", false, "seconds-scale smoke run")
+	flag.Int64Var(&opt.seed, "seed", 1, "random seed (workload is reproducible per seed)")
+	flag.StringVar(&opt.kind, "kind", "planted", "dataset kind: planted | width | 1d (as cmd/datagen)")
+	flag.IntVar(&opt.n, "n", 4096, "training/query sample size")
+	flag.IntVar(&opt.dim, "d", 3, "dimensionality (planted only)")
+	flag.Float64Var(&opt.noise, "noise", 0.1, "label-flip probability")
+	flag.IntVar(&opt.requests, "requests", 20000, "requests per configuration")
+	flag.IntVar(&opt.concurrency, "concurrency", 32, "concurrent client goroutines")
+	flag.StringVar(&opt.configs, "configs", "1x0s,8x1ms,32x2ms", "comma-separated MAXBATCHxMAXWAIT server configurations")
+	flag.StringVar(&opt.url, "url", "", "replay against an external server instead of in-process (single row)")
+	flag.Parse()
+
+	if err := run(opt, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the whole benchmark and writes the report.
+func run(opt options, logw io.Writer) error {
+	if opt.quick {
+		if opt.requests > 2000 {
+			opt.requests = 2000
+		}
+		if opt.n > 1024 {
+			opt.n = 1024
+		}
+	}
+	configs, err := parseConfigs(opt.configs)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(opt.seed))
+	lab, err := generate(rng, opt)
+	if err != nil {
+		return err
+	}
+	ws := make(monoclass.WeightedSet, len(lab))
+	for i, lp := range lab {
+		ws[i] = monoclass.WeightedPoint{P: lp.P, Label: lp.Label, Weight: 1}
+	}
+	sol, err := monoclass.OptimalPassive(ws)
+	if err != nil {
+		return fmt.Errorf("training initial model: %w", err)
+	}
+	pts := make([]monoclass.Point, len(lab))
+	for i, lp := range lab {
+		pts[i] = lp.P
+	}
+
+	rep := &report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Seed:        opt.seed,
+		Kind:        opt.kind,
+		N:           len(pts),
+		Dim:         sol.Classifier.Dim(),
+	}
+
+	if opt.url != "" {
+		row, err := replay(opt.url, pts, opt.requests, opt.concurrency, nil)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, *row)
+	} else {
+		for _, bc := range configs {
+			srv, err := monoclass.NewServer(sol.Classifier, monoclass.ServeConfig{Batch: bc})
+			if err != nil {
+				return err
+			}
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			row, err := replay("http://"+addr.String(), pts, opt.requests, opt.concurrency, srv)
+			if cerr := srv.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			row.MaxBatch = bc.MaxBatch
+			row.MaxWaitMillis = float64(bc.MaxWait) / float64(time.Millisecond)
+			if row.MaxWaitMillis < 0 {
+				row.MaxWaitMillis = 0
+			}
+			rep.Rows = append(rep.Rows, *row)
+			fmt.Fprintf(logw, "loadgen: batch=%d wait=%s → %.0f req/s, p50=%.0fµs p99=%.0fµs (mean batch %.2f)\n",
+				bc.MaxBatch, bc.MaxWait, row.ThroughputRPS, row.P50Micros, row.P99Micros, row.MeanBatch)
+		}
+	}
+
+	f, err := os.Create(opt.out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "loadgen: wrote %s (%d configuration rows)\n", opt.out, len(rep.Rows))
+	return nil
+}
+
+// generate builds the query/training distribution, mirroring
+// cmd/datagen's kinds.
+func generate(rng *rand.Rand, opt options) ([]monoclass.LabeledPoint, error) {
+	switch opt.kind {
+	case "planted":
+		return monoclass.GeneratePlanted(rng, monoclass.PlantedParams{N: opt.n, D: opt.dim, Noise: opt.noise}), nil
+	case "width":
+		return monoclass.GenerateWidthControlled(rng, monoclass.WidthParams{N: opt.n, W: 8, Noise: opt.noise}), nil
+	case "1d":
+		return monoclass.GenerateUniform1D(rng, opt.n, 0.5, opt.noise), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", opt.kind)
+	}
+}
+
+// parseConfigs parses "32x2ms,1x0s" into batcher configurations; a
+// non-positive wait means greedy dispatch.
+func parseConfigs(s string) ([]monoclass.BatcherConfig, error) {
+	var out []monoclass.BatcherConfig
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var mb int
+		var waitStr string
+		if _, err := fmt.Sscanf(part, "%dx%s", &mb, &waitStr); err != nil || mb < 1 {
+			return nil, fmt.Errorf("invalid config %q (want MAXBATCHxMAXWAIT, e.g. 32x2ms)", part)
+		}
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			return nil, fmt.Errorf("invalid wait in %q: %v", part, err)
+		}
+		if wait <= 0 {
+			wait = -1 // greedy dispatch
+		}
+		out = append(out, monoclass.BatcherConfig{MaxBatch: mb, MaxWait: wait, QueueCap: 8192})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no configurations given")
+	}
+	return out, nil
+}
+
+// replay fires requests at url from concurrency keep-alive clients and
+// aggregates latencies; srv (optional) supplies /stats-backed batch
+// shape numbers.
+func replay(url string, pts []monoclass.Point, requests, concurrency int, srv *monoclass.Server) (*configRow, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if concurrency > requests {
+		concurrency = requests
+	}
+	bodies := make([][]byte, len(pts))
+	for i, p := range pts {
+		b, err := json.Marshal(struct {
+			Point []float64 `json:"point"`
+		}{Point: p})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+
+	var (
+		rejected atomic.Int64
+		errors   atomic.Int64
+		mu       sync.Mutex
+		all      []time.Duration
+		firstErr atomic.Value
+	)
+	per := (requests + concurrency - 1) / concurrency
+	transport := &http.Transport{MaxIdleConnsPerHost: concurrency}
+	defer transport.CloseIdleConnections()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(concurrency)
+	for c := 0; c < concurrency; c++ {
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+			lat := make([]time.Duration, 0, per)
+			idx := c
+			for i := 0; i < per; i++ {
+				body := bodies[idx%len(bodies)]
+				idx += concurrency
+				t0 := time.Now()
+				resp, err := client.Post(url+"/classify", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					errors.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					lat = append(lat, time.Since(t0))
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					errors.Add(1)
+				}
+			}
+			mu.Lock()
+			all = append(all, lat...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(all) == 0 {
+		err, _ := firstErr.Load().(error)
+		return nil, fmt.Errorf("no request succeeded (%d rejected, %d errors, first error: %v)",
+			rejected.Load(), errors.Load(), err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Microsecond)
+	}
+	row := &configRow{
+		Requests:      requests,
+		Concurrency:   concurrency,
+		ElapsedMillis: float64(elapsed) / float64(time.Millisecond),
+		ThroughputRPS: float64(len(all)) / elapsed.Seconds(),
+		P50Micros:     q(0.50),
+		P95Micros:     q(0.95),
+		P99Micros:     q(0.99),
+		MaxMicros:     float64(all[len(all)-1]) / float64(time.Microsecond),
+		Rejected:      rejected.Load(),
+		Errors:        errors.Load(),
+	}
+	if srv != nil {
+		resp, err := http.Get(url + "/stats")
+		if err == nil {
+			var snap monoclass.ServeStats
+			if json.NewDecoder(resp.Body).Decode(&snap) == nil {
+				row.MeanBatch = snap.MeanBatch
+				row.Batches = snap.Batches
+			}
+			resp.Body.Close()
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"monoclass/internal/testutil"
+)
+
+// TestRunWritesReport drives the benchmark in-process with tiny
+// numbers and checks the report shape end to end.
+func TestRunWritesReport(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var log bytes.Buffer
+	opt := options{
+		out:         out,
+		seed:        42,
+		kind:        "planted",
+		n:           128,
+		dim:         2,
+		noise:       0.1,
+		requests:    200,
+		concurrency: 8,
+		configs:     "1x0s,16x1ms",
+	}
+	if err := run(opt, &log); err != nil {
+		t.Fatalf("run: %v\n%s", err, log.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d configuration rows, want 2", len(rep.Rows))
+	}
+	if rep.Seed != 42 || rep.Kind != "planted" || rep.Dim != 2 || rep.N != 128 {
+		t.Errorf("report header %+v lost the workload parameters", rep)
+	}
+	for i, row := range rep.Rows {
+		if row.ThroughputRPS <= 0 {
+			t.Errorf("row %d: non-positive throughput %v", i, row.ThroughputRPS)
+		}
+		if row.P50Micros <= 0 || row.P99Micros < row.P50Micros || row.MaxMicros < row.P99Micros {
+			t.Errorf("row %d: implausible latency quantiles %+v", i, row)
+		}
+		if row.Errors != 0 {
+			t.Errorf("row %d: %d transport/server errors", i, row.Errors)
+		}
+		if row.Requests != 200 || row.Concurrency != 8 {
+			t.Errorf("row %d: load parameters %+v not recorded", i, row)
+		}
+	}
+	if rep.Rows[0].MaxBatch != 1 || rep.Rows[1].MaxBatch != 16 {
+		t.Errorf("config order not preserved: %+v", rep.Rows)
+	}
+	if !strings.Contains(log.String(), "wrote "+out) {
+		t.Errorf("log output %q never announced the report", log.String())
+	}
+}
+
+// TestRunQuickCapsWork: -quick must clamp the per-config request count
+// so CI smoke runs stay seconds-scale.
+func TestRunQuickCapsWork(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	opt := options{
+		out:         out,
+		quick:       true,
+		seed:        1,
+		kind:        "1d",
+		n:           1 << 20, // clamped to 1024
+		requests:    1 << 20, // clamped to 2000
+		concurrency: 4,
+		configs:     "4x500us",
+	}
+	var log bytes.Buffer
+	start := time.Now()
+	if err := run(opt, &log); err != nil {
+		t.Fatalf("run: %v\n%s", err, log.String())
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Minute {
+		t.Errorf("quick run took %v", elapsed)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 1024 {
+		t.Errorf("n = %d, want quick clamp to 1024", rep.N)
+	}
+	if got := rep.Rows[0].Requests; got != 2000 {
+		t.Errorf("requests = %d, want quick clamp to 2000", got)
+	}
+}
+
+func TestParseConfigs(t *testing.T) {
+	got, err := parseConfigs(" 1x0s, 32x2ms ,8x-5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d configs, want 3", len(got))
+	}
+	if got[0].MaxBatch != 1 || got[0].MaxWait != -1 {
+		t.Errorf("1x0s → %+v, want greedy", got[0])
+	}
+	if got[1].MaxBatch != 32 || got[1].MaxWait != 2*time.Millisecond {
+		t.Errorf("32x2ms → %+v", got[1])
+	}
+	if got[2].MaxWait != -1 {
+		t.Errorf("negative wait %+v not normalized to greedy", got[2])
+	}
+	for _, bad := range []string{"", "x2ms", "0x2ms", "3x", "3xbogus", "-1x2ms"} {
+		if _, err := parseConfigs(bad); err == nil {
+			t.Errorf("parseConfigs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(options{kind: "nope", configs: "1x0s", out: os.DevNull}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run(options{kind: "1d", n: 8, configs: "garbage", out: os.DevNull}, &bytes.Buffer{}); err == nil {
+		t.Error("garbage configs accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Command monoserve runs the monotone-classification HTTP service: it
+// loads a trained anchor model (written by `monoclass passive -save`
+// or `monoclass active -save`) and serves micro-batched classify
+// traffic with hot model swaps.
+//
+// Usage:
+//
+//	monoserve -model model.json [-addr :8080] [-max-batch 32]
+//	          [-max-wait 2ms] [-queue 1024] [-workers N]
+//	          [-holdout data.csv -max-werr 120] [-spot-audit]
+//
+// Endpoints:
+//
+//	POST /classify        {"point":[...]}         single point
+//	POST /classify/batch  {"points":[[...],...]}  client-side batch
+//	GET  /model           current model JSON (X-Model-Version header)
+//	POST /model           promote a new model (gated by audits)
+//	GET  /healthz         liveness + current version
+//	GET  /stats           counters: requests, batch histogram, swaps
+//
+// The process drains gracefully on SIGINT/SIGTERM: accepted requests
+// are answered before exit. When the queue is full, new requests are
+// rejected with 429 and a Retry-After header rather than queued
+// unboundedly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"monoclass"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "monoserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("monoserve", flag.ExitOnError)
+	model := fs.String("model", "", "trained model JSON (required)")
+	addr := fs.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+	maxBatch := fs.Int("max-batch", 32, "largest micro-batch dispatched to the classifier")
+	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "longest an under-full batch is held open (negative: dispatch greedily)")
+	queue := fs.Int("queue", 1024, "bounded intake queue capacity (backpressure beyond it)")
+	workers := fs.Int("workers", 0, "dispatcher goroutines (0: GOMAXPROCS)")
+	holdout := fs.String("holdout", "", "labeled CSV; candidate models must fit it within -max-werr to be promoted")
+	maxWErr := fs.Float64("max-werr", 0, "weighted-error budget on -holdout for model promotion")
+	spotAudit := fs.Bool("spot-audit", false, "re-check monotonicity of candidate models before promotion")
+	fs.Parse(args)
+	if *model == "" {
+		return fmt.Errorf("-model is required")
+	}
+
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	h, err := monoclass.LoadModel(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	var audits []monoclass.AuditFunc
+	if *spotAudit {
+		audits = append(audits, monoclass.SpotAudit(nil))
+	}
+	if *holdout != "" {
+		hf, err := os.Open(*holdout)
+		if err != nil {
+			return err
+		}
+		ws, err := monoclass.ReadCSV(hf)
+		hf.Close()
+		if err != nil {
+			return err
+		}
+		audits = append(audits, monoclass.HoldoutAudit(ws, *maxWErr))
+	}
+	cfg := monoclass.ServeConfig{
+		Batch: monoclass.BatcherConfig{
+			MaxBatch: *maxBatch,
+			MaxWait:  *maxWait,
+			QueueCap: *queue,
+			Workers:  *workers,
+		},
+	}
+	if len(audits) > 0 {
+		cfg.Audit = monoclass.ChainAudits(audits...)
+	}
+
+	return monoclass.Serve(context.Background(), *addr, h, cfg, func(bound string) {
+		fmt.Printf("monoserve: serving dim-%d model (%d anchors) on %s\n", h.Dim(), len(h.Anchors()), bound)
+	})
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"monoclass"
+)
+
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "monoserve-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binary = filepath.Join(dir, "monoserve")
+	build := exec.Command("go", "build", "-o", binary, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.Stderr.Write(out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// writeModel trains on Figure 1 and saves the model JSON.
+func writeModel(t *testing.T) string {
+	t.Helper()
+	sol, err := monoclass.OptimalPassive(monoclass.Figure1Weighted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := monoclass.SaveModel(f, sol.Classifier); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startServer launches the binary on an ephemeral port and returns the
+// base URL plus a stopper that interrupts it and asserts clean exit.
+func startServer(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(binary, append(args, "-addr", "127.0.0.1:0")...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The banner line carries the bound address as its last token.
+	sc := bufio.NewScanner(stdout)
+	bannerCh := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			bannerCh <- sc.Text()
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	var banner string
+	select {
+	case banner = <-bannerCh:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("server never announced its address")
+	}
+	fields := strings.Fields(banner)
+	url := "http://" + fields[len(fields)-1]
+
+	return url, func() {
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("server exited uncleanly: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			t.Fatal("server did not exit on SIGINT")
+		}
+	}
+}
+
+func TestServeClassifySwapShutdown(t *testing.T) {
+	url, stop := startServer(t, "-model", writeModel(t), "-spot-audit")
+	defer stop()
+
+	// Figure 1's optimum classifies (20,20) positive, (0,0) negative.
+	var res struct {
+		Label   int   `json:"label"`
+		Version int64 `json:"version"`
+	}
+	for _, tc := range []struct {
+		body string
+		want int
+	}{{`{"point":[20,20]}`, 1}, {`{"point":[0,0]}`, 0}} {
+		resp, err := http.Post(url+"/classify", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if res.Label != tc.want || res.Version != 1 {
+			t.Errorf("%s → %+v, want label %d version 1", tc.body, res, tc.want)
+		}
+	}
+
+	// Hot-swap to const-positive and observe the flip.
+	cp, _ := monoclass.NewAnchorSet(2, []monoclass.Point{{-1e18, -1e18}})
+	var buf bytes.Buffer
+	if err := monoclass.SaveModel(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/model", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("swap status %d: %s", resp.StatusCode, swapBody)
+	}
+	resp, err = http.Post(url+"/classify", "application/json", strings.NewReader(`{"point":[0,0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if res.Label != 1 || res.Version != 2 {
+		t.Errorf("after swap (0,0) → %+v, want label 1 version 2", res)
+	}
+
+	// Stats reflect the traffic.
+	resp, err = http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Requests int64 `json:"requests"`
+		Swaps    int64 `json:"swaps"`
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats.Requests != 3 || stats.Swaps != 1 {
+		t.Errorf("stats = %+v, want 3 requests 1 swap", stats)
+	}
+}
+
+func TestServeHoldoutGate(t *testing.T) {
+	// Holdout = Figure 1 with its optimum (104); a budget of 104 lets
+	// equally-good models in but rejects the constant classifiers.
+	csv := filepath.Join(t.TempDir(), "holdout.csv")
+	f, err := os.Create(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := monoclass.WriteCSV(f, monoclass.Figure1Weighted()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	url, stop := startServer(t, "-model", writeModel(t), "-holdout", csv, "-max-werr", "104")
+	defer stop()
+
+	cp, _ := monoclass.NewAnchorSet(2, []monoclass.Point{{-1e18, -1e18}})
+	var buf bytes.Buffer
+	monoclass.SaveModel(&buf, cp)
+	resp, err := http.Post(url+"/model", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 422 {
+		t.Fatalf("const-positive swap status %d (%s), want 422", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "holdout") {
+		t.Errorf("rejection %s does not mention the holdout", body)
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	out, err := exec.Command(binary).CombinedOutput()
+	if err == nil {
+		t.Errorf("no -model accepted:\n%s", out)
+	}
+	out, err = exec.Command(binary, "-model", "/nonexistent.json").CombinedOutput()
+	if err == nil {
+		t.Errorf("missing model file accepted:\n%s", out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("not a model"), 0o644)
+	out, err = exec.Command(binary, "-model", bad).CombinedOutput()
+	if err == nil {
+		t.Errorf("garbage model accepted:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("monoserve:")) {
+		t.Errorf("error output %q lacks the monoserve prefix", out)
+	}
+}

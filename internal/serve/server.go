@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"monoclass/internal/classifier"
+	"monoclass/internal/geom"
+)
+
+// Config tunes a Server. The zero value is serviceable: default
+// batching, no audit gate, 4096-point client batches.
+type Config struct {
+	// Batch configures the micro-batching pipeline.
+	Batch BatcherConfig
+	// Audit optionally gates POST /model promotions.
+	Audit AuditFunc
+	// MaxClientBatch caps the number of points accepted by a single
+	// /classify/batch call (default 4096); larger requests get 413.
+	MaxClientBatch int
+	// MaxBodyBytes caps request body sizes (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP serving layer: a Registry for hot-swappable
+// models, a Batcher for single-point micro-batching, and JSON
+// endpoints:
+//
+//	POST /classify        {"point":[...]}          → {"label":L,"version":V}
+//	POST /classify/batch  {"points":[[...],...]}   → {"labels":[...],"version":V}
+//	GET  /model                                    → current model JSON (X-Model-Version header)
+//	POST /model           model JSON               → {"version":V,"dim":D,"anchors":N}
+//	GET  /healthz                                  → {"status":"ok","version":V,...}
+//	GET  /stats                                    → StatsSnapshot
+//
+// Backpressure: when the batcher queue is full, /classify answers
+// 429 with a Retry-After header instead of queuing unboundedly.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	bat     *Batcher
+	stats   *Stats
+	mux     *http.ServeMux
+	started time.Time
+
+	mu   sync.Mutex
+	ln   net.Listener
+	hsrv *http.Server
+}
+
+// NewServer builds a server over an initial model. It starts the
+// batcher's worker goroutines immediately (so the Handler is usable
+// with httptest without Start); call Shutdown or Close to release
+// them.
+func NewServer(initial *classifier.AnchorSet, cfg Config) (*Server, error) {
+	if cfg.MaxClientBatch <= 0 {
+		cfg.MaxClientBatch = 4096
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	reg, err := NewRegistry(initial, cfg.Audit)
+	if err != nil {
+		return nil, err
+	}
+	stats := &Stats{}
+	src := func() (classifier.Classifier, int64) {
+		snap := reg.Snapshot()
+		return snap.Model, snap.Version
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		bat:     NewBatcher(src, cfg.Batch, stats),
+		stats:   stats,
+		started: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /classify", s.handleClassify)
+	s.mux.HandleFunc("POST /classify/batch", s.handleClassifyBatch)
+	s.mux.HandleFunc("GET /model", s.handleModelGet)
+	s.mux.HandleFunc("POST /model", s.handleModelPost)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+// Registry exposes the model registry (for CLI wiring and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the HTTP handler tree, for mounting under httptest
+// or an external server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves in a background goroutine, returning the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.hsrv != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("serve: server already started")
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.mux}
+	hsrv := s.hsrv
+	s.mu.Unlock()
+	go hsrv.Serve(ln) // Serve returns ErrServerClosed after Shutdown
+	return ln.Addr(), nil
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests finish (bounded by ctx), then the batcher drains and its
+// workers exit. Safe when Start was never called (handler-only use):
+// it then just drains the batcher.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.mu.Lock()
+	hsrv := s.hsrv
+	s.hsrv = nil
+	s.mu.Unlock()
+	if hsrv != nil {
+		err = hsrv.Shutdown(ctx)
+	}
+	// In-flight handlers are done (or abandoned at ctx deadline);
+	// draining the queue now answers everything already accepted.
+	s.bat.Close()
+	return err
+}
+
+// Close is Shutdown with a short deadline, for defer convenience.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// ---- wire types ----
+
+type classifyRequest struct {
+	Point []float64 `json:"point"`
+}
+
+type classifyResponse struct {
+	Label   int   `json:"label"`
+	Version int64 `json:"version"`
+}
+
+type batchRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+type batchResponse struct {
+	Labels  []int `json:"labels"`
+	Version int64 `json:"version"`
+}
+
+type swapResponse struct {
+	Version int64 `json:"version"`
+	Dim     int   `json:"dim"`
+	Anchors int   `json:"anchors"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	pt, ok := s.checkPoint(w, req.Point)
+	if !ok {
+		return
+	}
+	res, err := s.bat.Submit(r.Context(), pt)
+	if err != nil {
+		s.classifyError(w, r, err, 1)
+		return
+	}
+	s.stats.AddRequests(1)
+	writeJSON(w, http.StatusOK, classifyResponse{Label: int(res.Label), Version: res.Version})
+}
+
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		s.badRequest(w, "empty batch")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxClientBatch {
+		s.stats.AddBadRequest()
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Points), s.cfg.MaxClientBatch)})
+		return
+	}
+	pts := make([]geom.Point, len(req.Points))
+	for i, c := range req.Points {
+		pt, ok := s.checkPoint(w, c)
+		if !ok {
+			return
+		}
+		pts[i] = pt
+	}
+	// A client batch is already a batch: classify it inline against one
+	// snapshot instead of re-queuing point by point.
+	snap := s.reg.Snapshot()
+	labels := make([]int, len(pts))
+	for i, pt := range pts {
+		labels[i] = int(snap.Model.Classify(pt))
+	}
+	s.stats.ObserveBatch(len(pts))
+	s.stats.AddRequests(len(pts))
+	writeJSON(w, http.StatusOK, batchResponse{Labels: labels, Version: snap.Version})
+}
+
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Model-Version", strconv.FormatInt(snap.Version, 10))
+	classifier.WriteModel(w, snap.Model)
+}
+
+func (s *Server) handleModelPost(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	next, err := classifier.ReadModel(body)
+	if err != nil {
+		s.badRequest(w, fmt.Sprintf("invalid model: %v", err))
+		return
+	}
+	version, err := s.reg.Swap(next)
+	if err != nil {
+		s.stats.AddBadRequest()
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, swapResponse{Version: version, Dim: next.Dim(), Anchors: len(next.Anchors())})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"version":   s.reg.Version(),
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var snap StatsSnapshot
+	s.stats.snapshotCounters(&snap)
+	cur := s.reg.Snapshot()
+	snap.QueueDepth = s.bat.QueueDepth()
+	snap.QueueCap = s.bat.QueueCap()
+	snap.ModelVersion = cur.Version
+	snap.ModelAnchors = len(cur.Model.Anchors())
+	snap.Swaps = s.reg.Swaps()
+	snap.AuditRejects = s.reg.AuditRejects()
+	snap.UptimeMillis = time.Since(s.started).Milliseconds()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// ---- helpers ----
+
+// decodeJSON parses the body into dst, answering 400 on garbage.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.badRequest(w, fmt.Sprintf("invalid request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// checkPoint validates one coordinate vector against the registry
+// dimension, answering 400 on mismatch.
+func (s *Server) checkPoint(w http.ResponseWriter, coords []float64) (geom.Point, bool) {
+	if len(coords) != s.reg.Dim() {
+		s.badRequest(w, fmt.Sprintf("point has dimension %d, model serves dimension %d", len(coords), s.reg.Dim()))
+		return nil, false
+	}
+	return geom.Point(coords), true
+}
+
+// classifyError maps batcher errors to HTTP statuses; n is how many
+// points the failed call carried (for the reject counter).
+func (s *Server) classifyError(w http.ResponseWriter, r *http.Request, err error, n int) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.stats.AddRejected(n)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.Batch.MaxWait)))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client went away; 499-style. StatusRequestTimeout is the
+		// closest standard code.
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// retryAfterSeconds suggests a backoff of at least one second, scaled
+// to the batching window.
+func retryAfterSeconds(maxWait time.Duration) int {
+	sec := int((maxWait + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.stats.AddBadRequest()
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

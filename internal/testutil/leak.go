@@ -1,0 +1,142 @@
+// Package testutil holds small test-only helpers shared across the
+// repository's packages. Nothing here is imported by production code.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T the leak checker needs; declared
+// locally so the package adds no import edge on "testing" for callers
+// that only build it.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// CheckGoroutines snapshots the set of live goroutines and registers a
+// cleanup that fails the test if, after the test body finishes, extra
+// goroutines beyond the snapshot are still running. Call it at the top
+// of any test that starts servers, batchers, or worker pools:
+//
+//	func TestServer(t *testing.T) {
+//		testutil.CheckGoroutines(t)
+//		...
+//	}
+//
+// Because goroutines wind down asynchronously (timer callbacks, closed
+// connections), the cleanup polls for up to 5 seconds before declaring
+// a leak. Known-forever runtime and testing goroutines are filtered by
+// stack signature, so the checker needs no external dependencies and
+// stays robust to unrelated test parallelism only as long as callers
+// do not run leak-checked tests with t.Parallel().
+// leakGrace is how long the cleanup waits for stragglers to exit; a
+// variable so the package's own tests can shrink it.
+var leakGrace = 5 * time.Second
+
+func CheckGoroutines(t TB) {
+	t.Helper()
+	base := map[string]int{}
+	for _, g := range interestingGoroutines() {
+		base[g]++
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			now := map[string]int{}
+			for _, g := range interestingGoroutines() {
+				now[g]++
+			}
+			for g, n := range now {
+				if n > base[g] {
+					leaked = append(leaked, fmt.Sprintf("%d extra: %s", n-base[g], g))
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("goroutine leak: %d stack(s) survived the test:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// interestingGoroutines returns one normalized stack per live
+// goroutine, excluding the runtime/testing machinery that legitimately
+// outlives any single test.
+func interestingGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" || !strings.HasPrefix(g, "goroutine ") {
+			continue
+		}
+		if isBoringGoroutine(g) {
+			continue
+		}
+		// Drop the header line ("goroutine 7 [running]:") so the same
+		// logical goroutine matches across snapshots, and drop argument
+		// hex values and line offsets that vary between dumps.
+		lines := strings.Split(g, "\n")
+		var sig []string
+		for _, ln := range lines[1:] {
+			ln = strings.TrimSpace(ln)
+			if i := strings.Index(ln, "("); i > 0 && strings.HasSuffix(ln, ")") {
+				ln = ln[:i]
+			}
+			if i := strings.LastIndex(ln, " +0x"); i > 0 {
+				ln = ln[:i]
+			}
+			sig = append(sig, ln)
+		}
+		out = append(out, strings.Join(sig, "\n"))
+	}
+	return out
+}
+
+// isBoringGoroutine reports whether a raw stack stanza belongs to the
+// test harness or runtime rather than code under test.
+func isBoringGoroutine(g string) bool {
+	for _, marker := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*T).Run(",
+		"testing.(*M).",
+		"testing.runFuzzing(",
+		"testing.runFuzzTests(",
+		"runtime.goexit",
+		"created by runtime.gc",
+		"created by runtime/trace",
+		"runtime.MHeap_Scavenger",
+		"runtime.bgscavenge",
+		"runtime.bgsweep",
+		"runtime.forcegchelper",
+		"signal.signal_recv",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"runtime.ensureSigM",
+		"interestingGoroutines",
+		"net/http.(*persistConn)", // idle keep-alive conns wind down on their own
+		"net/http.setRequestCancel",
+	} {
+		if strings.Contains(g, marker) {
+			return true
+		}
+	}
+	// A goroutine parked in the runtime with no user frames.
+	return !strings.Contains(g, "\n")
+}

@@ -1,0 +1,76 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB captures the failure output of the checker without failing
+// the real test.
+type fakeTB struct {
+	cleanups []func()
+	failures []string
+}
+
+func (f *fakeTB) Helper()                           {}
+func (f *fakeTB) Cleanup(fn func())                 { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(format string, args ...any) { f.failures = append(f.failures, format) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCheckGoroutinesClean(t *testing.T) {
+	fake := &fakeTB{}
+	CheckGoroutines(fake)
+	done := make(chan struct{})
+	go func() { close(done) }() // starts and exits before cleanup
+	<-done
+	fake.runCleanups()
+	if len(fake.failures) != 0 {
+		t.Fatalf("clean test flagged as leaking: %v", fake.failures)
+	}
+}
+
+func TestCheckGoroutinesDetectsLeak(t *testing.T) {
+	old := leakGrace
+	leakGrace = 200 * time.Millisecond // the leak is deliberate; don't sit out the full grace period
+	defer func() { leakGrace = old }()
+	fake := &fakeTB{}
+	CheckGoroutines(fake)
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop // parks until after the cleanup has run
+	}()
+	<-started
+
+	doneCh := make(chan struct{})
+	go func() {
+		fake.runCleanups()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("leak cleanup did not return")
+	}
+	close(stop)
+	if len(fake.failures) == 0 {
+		t.Fatal("leaked goroutine not detected")
+	}
+	if !strings.Contains(fake.failures[0], "goroutine leak") {
+		t.Fatalf("unexpected failure message: %q", fake.failures[0])
+	}
+}
+
+func TestInterestingGoroutinesFiltersHarness(t *testing.T) {
+	for _, g := range interestingGoroutines() {
+		if strings.Contains(g, "testing.tRunner") && !strings.Contains(g, "testutil") {
+			t.Fatalf("harness goroutine not filtered:\n%s", g)
+		}
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"testing"
 
 	"monoclass"
+	"monoclass/internal/testutil"
 )
 
 func TestStreamingThresholdEmpty(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := monoclass.NewStreamingThreshold(rand.New(rand.NewSource(1)))
 	if s.Len() != 0 {
 		t.Fatalf("empty stream has Len %d", s.Len())
@@ -25,10 +27,12 @@ func TestStreamingThresholdEmpty(t *testing.T) {
 	}
 }
 
-// TestStreamingMatchesBatch: after every prefix of a shuffled weighted
-// stream, Best must agree with the batch BestThreshold1D on the same
-// observations, and Err must agree with a direct evaluation.
+// TestStreamingMatchesBatch: after EVERY prefix of a shuffled weighted
+// stream, Best must agree with the batch BestThreshold1D on the
+// materialized observations, and Err must agree with a direct
+// evaluation at thresholds below, between, at, and above the data.
 func TestStreamingMatchesBatch(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rng := rand.New(rand.NewSource(42))
 	s := monoclass.NewStreamingThreshold(rng)
 	var seen monoclass.WeightedSet
@@ -42,9 +46,6 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		s.Observe(x, label, w)
 		seen = append(seen, monoclass.WeightedPoint{P: monoclass.Point{x}, Label: label, Weight: w})
 
-		if i%7 != 0 {
-			continue
-		}
 		_, wantErr := monoclass.BestThreshold1D(seen)
 		got, gotErr := s.Best()
 		if math.Abs(gotErr-wantErr) > 1e-9 {
@@ -54,7 +55,9 @@ func TestStreamingMatchesBatch(t *testing.T) {
 		if direct := monoclass.WErr(seen, got); math.Abs(direct-gotErr) > 1e-9 {
 			t.Fatalf("prefix %d: threshold %g evaluates to %g, claimed %g", i+1, got.Tau, direct, gotErr)
 		}
-		for _, tau := range []float64{-1, 0, 3, 12.5, 24, 30} {
+		// x and x±0.5 probe exactly-at, between, and boundary thresholds
+		// around the newest observation.
+		for _, tau := range []float64{-1, 0, 3, 12.5, 24, 30, x, x - 0.5, x + 0.5} {
 			want := monoclass.WErr(seen, monoclass.Threshold1D{Tau: tau})
 			if math.Abs(s.Err(tau)-want) > 1e-9 {
 				t.Fatalf("prefix %d: Err(%g) = %g, direct %g", i+1, tau, s.Err(tau), want)
@@ -66,6 +69,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 // TestStreamingLenCountsDistinct: Len reports distinct observed values,
 // not observations.
 func TestStreamingLenCountsDistinct(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := monoclass.NewStreamingThreshold(rand.New(rand.NewSource(3)))
 	for i := 0; i < 10; i++ {
 		s.Observe(float64(i%4), monoclass.Positive, 1)
@@ -76,9 +80,16 @@ func TestStreamingLenCountsDistinct(t *testing.T) {
 }
 
 // TestStreamingSeedIndependence: the rng drives tree balancing only;
-// results must be bit-identical across seeds.
+// Best AND the full Err curve must be bit-identical across 5 seeds.
 func TestStreamingSeedIndependence(t *testing.T) {
-	build := func(seed int64) (monoclass.Threshold1D, float64) {
+	testutil.CheckGoroutines(t)
+	taus := []float64{-1, 0, 2.5, 6, 11, 14}
+	type result struct {
+		h    monoclass.Threshold1D
+		werr float64
+		errs [6]float64
+	}
+	build := func(seed int64) result {
 		s := monoclass.NewStreamingThreshold(rand.New(rand.NewSource(seed)))
 		data := rand.New(rand.NewSource(99))
 		for i := 0; i < 60; i++ {
@@ -88,11 +99,17 @@ func TestStreamingSeedIndependence(t *testing.T) {
 			}
 			s.Observe(float64(data.Intn(12)), label, 1+float64(data.Intn(3)))
 		}
-		return s.Best()
+		var r result
+		r.h, r.werr = s.Best()
+		for i, tau := range taus {
+			r.errs[i] = s.Err(tau)
+		}
+		return r
 	}
-	h1, e1 := build(1)
-	h2, e2 := build(20260804)
-	if h1.Tau != h2.Tau || e1 != e2 {
-		t.Errorf("results differ across balancing seeds: (%g, %g) vs (%g, %g)", h1.Tau, e1, h2.Tau, e2)
+	want := build(1)
+	for _, seed := range []int64{7, 1 << 30, -4, 99, 20260804} {
+		if got := build(seed); got != want {
+			t.Errorf("seed %d: results differ from seed 1: %+v vs %+v", seed, got, want)
+		}
 	}
 }
