@@ -7,6 +7,7 @@
 #   make conformance-mutate self-test: injected bug must be caught
 #   make bench-domkernel   regenerate BENCH_domkernel.json (kernel vs scalar)
 #   make bench-maxflow     regenerate BENCH_maxflow.json (flow-solver engine)
+#   make bench-classify    regenerate BENCH_classify.json (anchor index vs scalar)
 #   make bench-serve       regenerate BENCH_serve.json (serving layer loadgen)
 #   make serve-stress      long hot-swap/soak stress of the serving layer
 #   make verify            everything CI gates on, in order
@@ -14,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-serve serve-stress verify verify-full clean
+.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve serve-stress verify verify-full clean
 
 all: check
 
@@ -69,6 +70,18 @@ else
 	$(GO) run ./cmd/benchtab -maxflow BENCH_maxflow.json -seed 42
 endif
 
+# Machine-readable numbers for the anchor classification index: the
+# scalar anchor scan vs the indexed per-point path vs the batch sweep
+# kernel across (queries, dimension, anchors) cells (cmd/benchtab
+# -classify). Takes ~30s; add QUICK=1 for a seconds-scale smoke run
+# that overwrites nothing.
+bench-classify:
+ifdef QUICK
+	$(GO) run ./cmd/benchtab -classify /tmp/BENCH_classify.quick.json -seed 42 -quick
+else
+	$(GO) run ./cmd/benchtab -classify BENCH_classify.json -seed 42
+endif
+
 # Throughput/latency table for the serving layer across batching
 # configurations (cmd/loadgen). Takes ~1min; add QUICK=1 for a
 # seconds-scale smoke run that overwrites nothing.
@@ -86,7 +99,7 @@ serve-stress:
 
 verify: build vet test race conformance conformance-mutate
 
-verify-full: verify bench-domkernel bench-maxflow bench-serve
+verify-full: verify bench-domkernel bench-maxflow bench-classify bench-serve
 
 clean:
 	$(GO) clean ./...

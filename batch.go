@@ -3,23 +3,42 @@ package monoclass
 import (
 	"runtime"
 	"sync"
+
+	"monoclass/internal/classifier"
 )
 
-// ClassifyBatch applies a classifier to every point, fanning the work
-// across CPU cores; the result is positionally aligned with pts.
-// Classifier implementations in this library are safe for concurrent
-// reads; custom implementations must be too.
+// BatchClassifier is a Classifier with a vectorized entry point:
+// ClassifyBatchInto(dst, pts) fills dst[i] with the label of pts[i].
+// AnchorSet implements it through its prebuilt classification index.
+type BatchClassifier = classifier.BatchClassifier
+
+// fanOutMin is the batch size below which ClassifyBatch stays on the
+// calling goroutine: spawning GOMAXPROCS workers for a serving-sized
+// micro-batch (8–32 points) costs more than the classification itself.
+const fanOutMin = 512
+
+// ClassifyBatch applies a classifier to every point; the result is
+// positionally aligned with pts. Small batches run inline through the
+// classifier's batch kernel when it has one (AnchorSet does); batches
+// of fanOutMin points or more fan out across CPU cores. Classifier
+// implementations in this library are safe for concurrent reads;
+// custom implementations must be too.
 func ClassifyBatch(h Classifier, pts []Point) []Label {
 	out := make([]Label, len(pts))
+	ClassifyBatchInto(h, out, pts)
+	return out
+}
+
+// ClassifyBatchInto is ClassifyBatch without the allocation: labels
+// land in dst, which must have the same length as pts.
+func ClassifyBatchInto(h Classifier, dst []Label, pts []Point) {
 	workers := runtime.GOMAXPROCS(0)
+	if len(pts) < fanOutMin || workers <= 1 {
+		classifyChunk(h, dst, pts)
+		return
+	}
 	if workers > len(pts) {
 		workers = len(pts)
-	}
-	if workers <= 1 {
-		for i, p := range pts {
-			out[i] = h.Classify(p)
-		}
-		return out
 	}
 	var wg sync.WaitGroup
 	chunk := (len(pts) + workers - 1) / workers
@@ -35,11 +54,20 @@ func ClassifyBatch(h Classifier, pts []Point) []Label {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = h.Classify(pts[i])
-			}
+			classifyChunk(h, dst[lo:hi], pts[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
+}
+
+// classifyChunk routes one contiguous chunk through the classifier's
+// batch kernel when available, else the scalar loop.
+func classifyChunk(h Classifier, dst []Label, pts []Point) {
+	if b, ok := h.(BatchClassifier); ok {
+		b.ClassifyBatchInto(dst, pts)
+		return
+	}
+	for i, p := range pts {
+		dst[i] = h.Classify(p)
+	}
 }

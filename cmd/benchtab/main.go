@@ -7,6 +7,7 @@
 //	benchtab [-quick] [-seed N] [-only E1,E4,F1]
 //	benchtab -domkernel FILE
 //	benchtab -maxflow FILE
+//	benchtab -classify FILE
 //	benchtab -conformance [-trials N] [-long] [-repro-dir DIR]
 //
 // The full run takes a few minutes; -quick shrinks workloads to
@@ -16,7 +17,10 @@
 // runDomKernelBench). -maxflow does the same for the flow-solver
 // engine: every registered solver on passive-construction networks
 // and worst-case flow families, plus the workspace zero-allocation
-// re-solve check (see runMaxflowBench). -conformance runs the
+// re-solve check (see runMaxflowBench). -classify times the anchor
+// classifier's scalar scan against the indexed and batch-kernel paths
+// across a (queries, dimension, anchors) grid (see runClassifyBench).
+// -conformance runs the
 // differential/metamorphic
 // engine (internal/conformance) and exits non-zero on any divergence,
 // leaving shrunken repro files in -repro-dir; replay one with
@@ -39,6 +43,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	domkernel := flag.String("domkernel", "", "write dominance-kernel benchmark JSON to this file and exit")
 	maxflowOut := flag.String("maxflow", "", "write max-flow solver benchmark JSON to this file and exit")
+	classifyOut := flag.String("classify", "", "write classifier index benchmark JSON to this file and exit")
 	conf := flag.Bool("conformance", false, "run the differential/metamorphic conformance engine and exit")
 	trials := flag.Int("trials", 200, "conformance trials (with -conformance)")
 	long := flag.Bool("long", false, "conformance soak mode: larger instance schedule (with -conformance)")
@@ -63,6 +68,14 @@ func main() {
 
 	if *maxflowOut != "" {
 		if err := runMaxflowBench(*maxflowOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *classifyOut != "" {
+		if err := runClassifyBench(*classifyOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

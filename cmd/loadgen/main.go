@@ -12,8 +12,13 @@
 //	loadgen -out /tmp/q.json -quick               # seconds-scale smoke
 //	loadgen -url http://host:8080 -out out.json   # external server
 //
-// Configurations are "MAXBATCHxMAXWAIT" pairs: "1x0s" disables
-// coalescing (greedy dispatch), "32x2ms" holds batches open up to 2ms.
+// Configurations are "SPEC[@PROCS]" entries. SPEC is either
+// "MAXBATCHxMAXWAIT" — single-point /classify requests through the
+// server-side micro-batcher ("1x0s" disables coalescing, "32x2ms"
+// holds batches open up to 2ms) — or "bN" — client-side batches of N
+// points per /classify/batch request, where -requests counts points
+// and throughput_rps reports classifications per second. An optional
+// "@PROCS" suffix pins runtime.GOMAXPROCS for that row ("32x2ms@2").
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,10 +55,15 @@ type report struct {
 	Rows        []configRow `json:"configs"`
 }
 
-// configRow is one batching configuration's measurements.
+// configRow is one batching configuration's measurements. For
+// client-batch rows (ClientBatch > 0) Requests counts points and
+// ThroughputRPS is classifications per second; the server-side batcher
+// is bypassed, so MaxBatch/MaxWaitMillis are zero.
 type configRow struct {
 	MaxBatch      int     `json:"max_batch"`
 	MaxWaitMillis float64 `json:"max_wait_ms"`
+	ClientBatch   int     `json:"client_batch"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Requests      int     `json:"requests"`
 	Concurrency   int     `json:"concurrency"`
 	ElapsedMillis float64 `json:"elapsed_ms"`
@@ -93,7 +104,8 @@ func main() {
 	flag.Float64Var(&opt.noise, "noise", 0.1, "label-flip probability")
 	flag.IntVar(&opt.requests, "requests", 20000, "requests per configuration")
 	flag.IntVar(&opt.concurrency, "concurrency", 32, "concurrent client goroutines")
-	flag.StringVar(&opt.configs, "configs", "1x0s,8x1ms,32x2ms", "comma-separated MAXBATCHxMAXWAIT server configurations")
+	flag.StringVar(&opt.configs, "configs", "1x0s,8x1ms,32x2ms,32x2ms@2,b64,b512,b512@2",
+		"comma-separated SPEC[@PROCS] configurations (SPEC = MAXBATCHxMAXWAIT or bN for client batches)")
 	flag.StringVar(&opt.url, "url", "", "replay against an external server instead of in-process (single row)")
 	flag.Parse()
 
@@ -149,36 +161,26 @@ func run(opt options, logw io.Writer) error {
 	}
 
 	if opt.url != "" {
-		row, err := replay(opt.url, pts, opt.requests, opt.concurrency, nil)
+		row, err := replay(opt.url, pts, opt.requests, opt.concurrency, 0, nil)
 		if err != nil {
 			return err
 		}
+		row.GOMAXPROCS = runtime.GOMAXPROCS(0)
 		rep.Rows = append(rep.Rows, *row)
 	} else {
 		for _, bc := range configs {
-			srv, err := monoclass.NewServer(sol.Classifier, monoclass.ServeConfig{Batch: bc})
+			row, err := runRow(bc, sol.Classifier, pts, opt)
 			if err != nil {
 				return err
-			}
-			addr, err := srv.Start("127.0.0.1:0")
-			if err != nil {
-				return err
-			}
-			row, err := replay("http://"+addr.String(), pts, opt.requests, opt.concurrency, srv)
-			if cerr := srv.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-			if err != nil {
-				return err
-			}
-			row.MaxBatch = bc.MaxBatch
-			row.MaxWaitMillis = float64(bc.MaxWait) / float64(time.Millisecond)
-			if row.MaxWaitMillis < 0 {
-				row.MaxWaitMillis = 0
 			}
 			rep.Rows = append(rep.Rows, *row)
-			fmt.Fprintf(logw, "loadgen: batch=%d wait=%s → %.0f req/s, p50=%.0fµs p99=%.0fµs (mean batch %.2f)\n",
-				bc.MaxBatch, bc.MaxWait, row.ThroughputRPS, row.P50Micros, row.P99Micros, row.MeanBatch)
+			if bc.clientBatch > 0 {
+				fmt.Fprintf(logw, "loadgen: client-batch=%d procs=%d → %.0f classifications/s, p50=%.0fµs p99=%.0fµs\n",
+					bc.clientBatch, row.GOMAXPROCS, row.ThroughputRPS, row.P50Micros, row.P99Micros)
+			} else {
+				fmt.Fprintf(logw, "loadgen: batch=%d wait=%s procs=%d → %.0f req/s, p50=%.0fµs p99=%.0fµs (mean batch %.2f)\n",
+					bc.batcher.MaxBatch, bc.batcher.MaxWait, row.GOMAXPROCS, row.ThroughputRPS, row.P50Micros, row.P99Micros, row.MeanBatch)
+			}
 		}
 	}
 
@@ -214,16 +216,43 @@ func generate(rng *rand.Rand, opt options) ([]monoclass.LabeledPoint, error) {
 	}
 }
 
-// parseConfigs parses "32x2ms,1x0s" into batcher configurations; a
-// non-positive wait means greedy dispatch.
-func parseConfigs(s string) ([]monoclass.BatcherConfig, error) {
-	var out []monoclass.BatcherConfig
+// benchConfig is one parsed configuration row: either a server-side
+// batching shape (batcher) or a client-batch size, optionally pinned
+// to a GOMAXPROCS value.
+type benchConfig struct {
+	batcher     monoclass.BatcherConfig
+	clientBatch int // > 0: bN mode, /classify/batch with N points per call
+	procs       int // > 0: runtime.GOMAXPROCS for the row's duration
+}
+
+// parseConfigs parses "32x2ms,1x0s,b512,32x2ms@2" into benchmark
+// configurations; a non-positive wait means greedy dispatch.
+func parseConfigs(s string) ([]benchConfig, error) {
+	var out []benchConfig
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
+		var bc benchConfig
+		if i := strings.IndexByte(part, '@'); i >= 0 {
+			procs, err := strconv.Atoi(part[i+1:])
+			if err != nil || procs < 1 {
+				return nil, fmt.Errorf("invalid procs suffix in %q (want SPEC@PROCS, e.g. 32x2ms@2)", part)
+			}
+			bc.procs = procs
+			part = part[:i]
+		}
+		if rest, ok := strings.CutPrefix(part, "b"); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("invalid client-batch config %q (want bN, e.g. b512)", part)
+			}
+			bc.clientBatch = n
+			out = append(out, bc)
+			continue
+		}
 		var mb int
 		var waitStr string
 		if _, err := fmt.Sscanf(part, "%dx%s", &mb, &waitStr); err != nil || mb < 1 {
-			return nil, fmt.Errorf("invalid config %q (want MAXBATCHxMAXWAIT, e.g. 32x2ms)", part)
+			return nil, fmt.Errorf("invalid config %q (want MAXBATCHxMAXWAIT or bN)", part)
 		}
 		wait, err := time.ParseDuration(waitStr)
 		if err != nil {
@@ -232,7 +261,8 @@ func parseConfigs(s string) ([]monoclass.BatcherConfig, error) {
 		if wait <= 0 {
 			wait = -1 // greedy dispatch
 		}
-		out = append(out, monoclass.BatcherConfig{MaxBatch: mb, MaxWait: wait, QueueCap: 8192})
+		bc.batcher = monoclass.BatcherConfig{MaxBatch: mb, MaxWait: wait, QueueCap: 8192}
+		out = append(out, bc)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no configurations given")
@@ -240,25 +270,88 @@ func parseConfigs(s string) ([]monoclass.BatcherConfig, error) {
 	return out, nil
 }
 
+// runRow measures one configuration against a fresh in-process server,
+// pinning GOMAXPROCS for the row when requested.
+func runRow(bc benchConfig, model *monoclass.AnchorSet, pts []monoclass.Point, opt options) (*configRow, error) {
+	if bc.procs > 0 {
+		prev := runtime.GOMAXPROCS(bc.procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	srv, err := monoclass.NewServer(model, monoclass.ServeConfig{Batch: bc.batcher})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	row, err := replay("http://"+addr.String(), pts, opt.requests, opt.concurrency, bc.clientBatch, srv)
+	if cerr := srv.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	row.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	row.ClientBatch = bc.clientBatch
+	if bc.clientBatch == 0 {
+		row.MaxBatch = bc.batcher.MaxBatch
+		row.MaxWaitMillis = float64(bc.batcher.MaxWait) / float64(time.Millisecond)
+		if row.MaxWaitMillis < 0 {
+			row.MaxWaitMillis = 0
+		}
+	}
+	return row, nil
+}
+
 // replay fires requests at url from concurrency keep-alive clients and
 // aggregates latencies; srv (optional) supplies /stats-backed batch
-// shape numbers.
-func replay(url string, pts []monoclass.Point, requests, concurrency int, srv *monoclass.Server) (*configRow, error) {
+// shape numbers. clientBatch > 0 switches to /classify/batch with that
+// many points per call: requests then counts points, and the reported
+// throughput is classifications per second.
+func replay(url string, pts []monoclass.Point, requests, concurrency, clientBatch int, srv *monoclass.Server) (*configRow, error) {
+	calls := requests
+	path := "/classify"
+	var bodies [][]byte
+	if clientBatch > 0 {
+		path = "/classify/batch"
+		calls = (requests + clientBatch - 1) / clientBatch
+		numBodies := len(pts) / clientBatch
+		if numBodies < 1 {
+			numBodies = 1
+		}
+		bodies = make([][]byte, numBodies)
+		for bi := range bodies {
+			chunk := make([][]float64, clientBatch)
+			for j := range chunk {
+				chunk[j] = pts[(bi*clientBatch+j)%len(pts)]
+			}
+			b, err := json.Marshal(struct {
+				Points [][]float64 `json:"points"`
+			}{Points: chunk})
+			if err != nil {
+				return nil, err
+			}
+			bodies[bi] = b
+		}
+	} else {
+		bodies = make([][]byte, len(pts))
+		for i, p := range pts {
+			b, err := json.Marshal(struct {
+				Point []float64 `json:"point"`
+			}{Point: p})
+			if err != nil {
+				return nil, err
+			}
+			bodies[i] = b
+		}
+	}
 	if concurrency < 1 {
 		concurrency = 1
 	}
-	if concurrency > requests {
-		concurrency = requests
-	}
-	bodies := make([][]byte, len(pts))
-	for i, p := range pts {
-		b, err := json.Marshal(struct {
-			Point []float64 `json:"point"`
-		}{Point: p})
-		if err != nil {
-			return nil, err
-		}
-		bodies[i] = b
+	if concurrency > calls {
+		concurrency = calls
 	}
 
 	var (
@@ -268,7 +361,7 @@ func replay(url string, pts []monoclass.Point, requests, concurrency int, srv *m
 		all      []time.Duration
 		firstErr atomic.Value
 	)
-	per := (requests + concurrency - 1) / concurrency
+	per := (calls + concurrency - 1) / concurrency
 	transport := &http.Transport{MaxIdleConnsPerHost: concurrency}
 	defer transport.CloseIdleConnections()
 
@@ -285,7 +378,7 @@ func replay(url string, pts []monoclass.Point, requests, concurrency int, srv *m
 				body := bodies[idx%len(bodies)]
 				idx += concurrency
 				t0 := time.Now()
-				resp, err := client.Post(url+"/classify", "application/json", strings.NewReader(string(body)))
+				resp, err := client.Post(url+path, "application/json", strings.NewReader(string(body)))
 				if err != nil {
 					errors.Add(1)
 					firstErr.CompareAndSwap(nil, err)
@@ -320,11 +413,17 @@ func replay(url string, pts []monoclass.Point, requests, concurrency int, srv *m
 		i := int(p * float64(len(all)-1))
 		return float64(all[i]) / float64(time.Microsecond)
 	}
+	// For client batches every successful call classified clientBatch
+	// points, so throughput counts classifications, not HTTP calls.
+	perCall := 1
+	if clientBatch > 0 {
+		perCall = clientBatch
+	}
 	row := &configRow{
 		Requests:      requests,
 		Concurrency:   concurrency,
 		ElapsedMillis: float64(elapsed) / float64(time.Millisecond),
-		ThroughputRPS: float64(len(all)) / elapsed.Seconds(),
+		ThroughputRPS: float64(len(all)*perCall) / elapsed.Seconds(),
 		P50Micros:     q(0.50),
 		P95Micros:     q(0.95),
 		P99Micros:     q(0.99),

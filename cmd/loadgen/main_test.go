@@ -109,26 +109,79 @@ func TestRunQuickCapsWork(t *testing.T) {
 }
 
 func TestParseConfigs(t *testing.T) {
-	got, err := parseConfigs(" 1x0s, 32x2ms ,8x-5ms")
+	got, err := parseConfigs(" 1x0s, 32x2ms ,8x-5ms,b512, 32x2ms@2 ,b64@3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("got %d configs, want 3", len(got))
+	if len(got) != 6 {
+		t.Fatalf("got %d configs, want 6", len(got))
 	}
-	if got[0].MaxBatch != 1 || got[0].MaxWait != -1 {
+	if got[0].batcher.MaxBatch != 1 || got[0].batcher.MaxWait != -1 {
 		t.Errorf("1x0s → %+v, want greedy", got[0])
 	}
-	if got[1].MaxBatch != 32 || got[1].MaxWait != 2*time.Millisecond {
+	if got[1].batcher.MaxBatch != 32 || got[1].batcher.MaxWait != 2*time.Millisecond {
 		t.Errorf("32x2ms → %+v", got[1])
 	}
-	if got[2].MaxWait != -1 {
+	if got[2].batcher.MaxWait != -1 {
 		t.Errorf("negative wait %+v not normalized to greedy", got[2])
 	}
-	for _, bad := range []string{"", "x2ms", "0x2ms", "3x", "3xbogus", "-1x2ms"} {
+	if got[3].clientBatch != 512 || got[3].procs != 0 {
+		t.Errorf("b512 → %+v", got[3])
+	}
+	if got[4].batcher.MaxBatch != 32 || got[4].procs != 2 || got[4].clientBatch != 0 {
+		t.Errorf("32x2ms@2 → %+v", got[4])
+	}
+	if got[5].clientBatch != 64 || got[5].procs != 3 {
+		t.Errorf("b64@3 → %+v", got[5])
+	}
+	for _, bad := range []string{"", "x2ms", "0x2ms", "3x", "3xbogus", "-1x2ms", "b0", "bx", "32x2ms@0", "b512@x"} {
 		if _, err := parseConfigs(bad); err == nil {
 			t.Errorf("parseConfigs(%q) accepted", bad)
 		}
+	}
+}
+
+// TestRunClientBatch drives a bN configuration end to end: requests
+// count points, the batch endpoint answers them, and the row records
+// the client batch size and effective GOMAXPROCS.
+func TestRunClientBatch(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var log bytes.Buffer
+	opt := options{
+		out:         out,
+		seed:        7,
+		kind:        "planted",
+		n:           128,
+		dim:         3,
+		noise:       0.1,
+		requests:    512,
+		concurrency: 4,
+		configs:     "b64@1",
+	}
+	if err := run(opt, &log); err != nil {
+		t.Fatalf("run: %v\n%s", err, log.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	if row.ClientBatch != 64 || row.GOMAXPROCS != 1 {
+		t.Errorf("row %+v lost client_batch/gomaxprocs", row)
+	}
+	if row.MaxBatch != 0 || row.MaxWaitMillis != 0 {
+		t.Errorf("client-batch row %+v reports server batching", row)
+	}
+	if row.Requests != 512 || row.Errors != 0 || row.ThroughputRPS <= 0 {
+		t.Errorf("implausible client-batch row %+v", row)
 	}
 }
 

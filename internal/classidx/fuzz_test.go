@@ -1,0 +1,106 @@
+package classidx
+
+import (
+	"math"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+// decodeFuzzCoord maps one byte to a coordinate. The low nibble
+// reserves codes for the values that stress the comparison semantics —
+// -Inf (the ConstPositive bottom anchor), +Inf, and NaN — and spreads
+// the rest over a small integer grid so duplicates and ties are dense.
+func decodeFuzzCoord(b byte) float64 {
+	switch v := b & 0x0f; v {
+	case 0:
+		return math.Inf(-1)
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.NaN()
+	default:
+		return float64(v) - 8 // -5 .. 7
+	}
+}
+
+// decodeFuzzInstance interprets fuzz bytes as (dimension, anchor set,
+// query set): byte 0 fixes d in 1..5, byte 1 the anchor count, and the
+// rest packs anchors then queries, d bytes per point. Anchors are fed
+// to Build raw — no antichain requirement — so the fuzzer also probes
+// the 2-D re-pruning fallback and redundant-anchor handling.
+func decodeFuzzInstance(data []byte) (d int, anchors, queries []geom.Point) {
+	if len(data) < 2 {
+		return 0, nil, nil
+	}
+	d = 1 + int(data[0])%5
+	na := int(data[1]) % 24
+	body := data[2:]
+	if len(body) < na*d {
+		return 0, nil, nil
+	}
+	decode := func(rows []byte, n int) []geom.Point {
+		pts := make([]geom.Point, n)
+		for i := 0; i < n; i++ {
+			p := make(geom.Point, d)
+			for k := 0; k < d; k++ {
+				p[k] = decodeFuzzCoord(rows[i*d+k])
+			}
+			pts[i] = p
+		}
+		return pts
+	}
+	anchors = decode(body, na)
+	rest := body[na*d:]
+	nq := len(rest) / d
+	if nq > 24 {
+		nq = 24
+	}
+	queries = decode(rest, nq)
+	return d, anchors, queries
+}
+
+// FuzzClassifyIndexedVsScalar feeds arbitrary anchor sets and query
+// points (NaN, ±Inf, duplicates included) to every index layout and
+// requires exact agreement with the literal scalar anchor scan, both
+// point-by-point and through the batch kernel.
+func FuzzClassifyIndexedVsScalar(f *testing.F) {
+	// 2-D staircase with an interior query and an all-NaN query.
+	f.Add([]byte{1, 3, 15, 11, 13, 13, 11, 15, 12, 12, 2, 2})
+	// 3-D bottom anchor (-Inf everywhere) against NaN and grid queries.
+	f.Add([]byte{2, 1, 0, 0, 0, 2, 2, 2, 12, 12, 12})
+	// 1-D with +Inf anchor (constant negative in effect) and duplicates.
+	f.Add([]byte{0, 2, 1, 9, 9, 8, 2})
+	// Non-antichain 2-D anchors: forces the re-pruning fallback.
+	f.Add([]byte{1, 4, 10, 10, 12, 12, 10, 12, 12, 10, 11, 11})
+	// Enough 3-D anchors to cross tinyAnchors into the bit matrix.
+	big := []byte{2, 20}
+	for i := 0; i < 20*3; i++ {
+		big = append(big, byte(3+i%13))
+	}
+	big = append(big, 12, 2, 0, 7, 7, 7)
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, anchors, queries := decodeFuzzInstance(data)
+		if d == 0 {
+			return
+		}
+		ix := Build(d, anchors)
+		for _, a := range anchors {
+			queries = append(queries, a) // exact anchor hits
+		}
+		for _, q := range queries {
+			if got, want := ix.Classify(q), scalarClassify(anchors, q); got != want {
+				t.Fatalf("d=%d m=%d: Classify(%v) = %v, scalar says %v", d, len(anchors), q, got, want)
+			}
+		}
+		dst := make([]geom.Label, len(queries))
+		ix.ClassifyBatchInto(dst, queries)
+		for i, q := range queries {
+			if want := scalarClassify(anchors, q); dst[i] != want {
+				t.Fatalf("d=%d m=%d: batch[%d] (%v) = %v, scalar says %v", d, len(anchors), i, q, dst[i], want)
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"monoclass/internal/classidx"
 	"monoclass/internal/geom"
 	"monoclass/internal/skyline"
 )
@@ -27,6 +28,14 @@ import (
 type Classifier interface {
 	// Classify returns the predicted label of p.
 	Classify(p geom.Point) geom.Label
+}
+
+// BatchClassifier is a Classifier with a vectorized entry point.
+// ClassifyBatchInto fills dst[i] with the label of pts[i]; dst and pts
+// must have equal length. Implementations are safe for concurrent use.
+type BatchClassifier interface {
+	Classifier
+	ClassifyBatchInto(dst []geom.Label, pts []geom.Point)
 }
 
 // Func adapts a Classifier to the geom.ClassifyFunc form consumed by
@@ -58,9 +67,16 @@ func (t Threshold1D) String() string { return fmt.Sprintf("h^{τ=%g}", t.Tau) }
 // AnchorSet is the anchor-based monotone classifier: Classify(x) = 1
 // iff x dominates (or equals) one of the anchors. The zero value (no
 // anchors) is the constant-0 classifier.
+//
+// Every AnchorSet built through NewAnchorSet carries an immutable
+// classification index (internal/classidx) constructed once at build
+// time: sorted fast paths in 1-D/2-D and a bit-packed anchor matrix
+// for d >= 3. The index is read-only after construction, so an
+// AnchorSet is safe for concurrent use.
 type AnchorSet struct {
 	anchors []geom.Point
 	dim     int
+	idx     *classidx.Index
 }
 
 // NewAnchorSet builds an anchor classifier over points of dimension
@@ -76,7 +92,7 @@ func NewAnchorSet(dim int, anchors []geom.Point) (*AnchorSet, error) {
 		}
 	}
 	pruned := pruneToMinimal(anchors)
-	return &AnchorSet{anchors: pruned, dim: dim}, nil
+	return &AnchorSet{anchors: pruned, dim: dim, idx: classidx.Build(dim, pruned)}, nil
 }
 
 // MustAnchorSet is NewAnchorSet that panics on error.
@@ -115,8 +131,19 @@ func pruneToMinimal(anchors []geom.Point) []geom.Point {
 	return out
 }
 
-// Classify implements Classifier.
+// Classify implements Classifier through the prebuilt index. The
+// zero-value AnchorSet (no index) falls back to the scalar scan.
 func (a *AnchorSet) Classify(p geom.Point) geom.Label {
+	if a.idx != nil {
+		return a.idx.Classify(p)
+	}
+	return a.ClassifyScalar(p)
+}
+
+// ClassifyScalar is the literal anchor scan — the reference semantics
+// the indexed paths must reproduce. The conformance harness uses it as
+// the differential oracle; hot paths should call Classify instead.
+func (a *AnchorSet) ClassifyScalar(p geom.Point) geom.Label {
 	if len(p) != a.dim {
 		panic(fmt.Sprintf("classifier: AnchorSet(dim %d) applied to %d-dimensional point", a.dim, len(p)))
 	}
@@ -126,6 +153,22 @@ func (a *AnchorSet) Classify(p geom.Point) geom.Label {
 		}
 	}
 	return geom.Negative
+}
+
+// ClassifyBatchInto implements BatchClassifier: dst[i] receives the
+// label of pts[i]. The batch kernel sorts the batch internally and
+// shares dominance work across it, with zero steady-state allocations.
+func (a *AnchorSet) ClassifyBatchInto(dst []geom.Label, pts []geom.Point) {
+	if a.idx != nil {
+		a.idx.ClassifyBatchInto(dst, pts)
+		return
+	}
+	if len(dst) != len(pts) {
+		panic(fmt.Sprintf("classifier: dst length %d != batch length %d", len(dst), len(pts)))
+	}
+	for i, p := range pts {
+		dst[i] = a.ClassifyScalar(p)
+	}
 }
 
 // Anchors returns the minimal anchor points. The caller must not

@@ -39,6 +39,7 @@ func Checks() []Check {
 		{"maxflow-differential", CheckMaxflowDifferential},
 		{"domgraph-kernel-vs-naive", CheckDomgraphKernel},
 		{"chains-kernel-vs-scalar", CheckChainsDecompose},
+		{"classifier-indexed-vs-scalar", CheckClassifierIndexed},
 		{"passive-differential", CheckPassiveDifferential},
 		{"active-exhaustive-exact", CheckActiveExhaustive},
 		{"meta-monotone-transform", CheckMetaMonotoneTransform},
@@ -361,6 +362,100 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// ---------------------------------------------------------------------
+// Indexed classifier differential
+// ---------------------------------------------------------------------
+
+// classidxSpecials are the coordinate values that exercise every edge
+// of the dominance comparison the classification index must reproduce:
+// infinities (the ConstPositive bottom anchor is all -Inf), NaN (which
+// passes every anchor test as a query coordinate and acts as -Inf as an
+// anchor coordinate), zero, and extreme finite magnitudes.
+var classidxSpecials = []float64{math.Inf(-1), math.Inf(1), math.NaN(), 0, 1, -1, 1e308, -1e308}
+
+// classidxCoord draws a coordinate from a small integer grid (dense
+// ties and duplicates), special with probability 1/4.
+func classidxCoord(rng *rand.Rand) float64 {
+	if rng.Intn(4) == 0 {
+		return classidxSpecials[rng.Intn(len(classidxSpecials))]
+	}
+	return math.Floor(rng.Float64()*16) - 8
+}
+
+// CheckClassifierIndexed holds AnchorSet's indexed classification paths
+// (sorted 1-D/2-D fast paths, bit-packed anchor matrix, batch sweep
+// kernel) to exact agreement with the scalar anchor scan
+// (ClassifyScalar): anchor sets are derived from the instance and from
+// seeded random pools with ±Inf and duplicate coordinates, queried with
+// points that include NaN, infinities, and the anchors themselves, both
+// point-by-point and through ClassifyBatchInto.
+func CheckClassifierIndexed(in Instance) error {
+	rng := rand.New(rand.NewSource(in.Seed ^ 0x636c7378))
+	pts := in.Pts()
+	d := in.Dim()
+	if d == 0 {
+		d = 1 + rng.Intn(5)
+	}
+
+	// Anchor pools: the instance's positive points, all instance points,
+	// the constant-positive bottom anchor, and random pools with special
+	// coordinates. NewAnchorSet prunes each pool to its minimal
+	// antichain; the differential runs on whatever survives.
+	var pos []geom.Point
+	for i, p := range pts {
+		if in.Labels[i] == 1 {
+			pos = append(pos, p)
+		}
+	}
+	bottom := make(geom.Point, d)
+	for k := range bottom {
+		bottom[k] = math.Inf(-1)
+	}
+	pools := [][]geom.Point{pos, pts, nil, {bottom}}
+	for trial := 0; trial < 2; trial++ {
+		raw := make([]geom.Point, 1+rng.Intn(60))
+		for i := range raw {
+			q := make(geom.Point, d)
+			for k := range q {
+				q[k] = classidxCoord(rng)
+			}
+			raw[i] = q
+		}
+		pools = append(pools, raw)
+	}
+
+	for pi, anchors := range pools {
+		h, err := classifier.NewAnchorSet(d, anchors)
+		if err != nil {
+			return fmt.Errorf("pool %d: NewAnchorSet: %w", pi, err)
+		}
+		queries := make([]geom.Point, 0, 32+len(h.Anchors()))
+		for i := 0; i < 32; i++ {
+			q := make(geom.Point, d)
+			for k := range q {
+				q[k] = classidxCoord(rng)
+			}
+			queries = append(queries, q)
+		}
+		queries = append(queries, h.Anchors()...) // exact anchor hits
+		for _, q := range queries {
+			if got, want := h.Classify(q), h.ClassifyScalar(q); got != want {
+				return fmt.Errorf("pool %d (m=%d): indexed Classify(%v) = %v, scalar says %v",
+					pi, len(h.Anchors()), q, got, want)
+			}
+		}
+		dst := make([]geom.Label, len(queries))
+		h.ClassifyBatchInto(dst, queries)
+		for i, q := range queries {
+			if want := h.ClassifyScalar(q); dst[i] != want {
+				return fmt.Errorf("pool %d (m=%d): batch slot %d (%v) = %v, scalar says %v",
+					pi, len(h.Anchors()), i, q, dst[i], want)
+			}
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------

@@ -178,9 +178,14 @@ func (b *Batcher) Close() {
 
 // worker is one dispatcher loop: block for a first request, hold the
 // batch open for up to MaxWait (or until MaxBatch), classify against a
-// single snapshot, reply.
+// single snapshot, reply. Multi-point batches route through the
+// model's batch kernel (classifier.BatchClassifier) when it has one;
+// the worker-local pts/labels scratch keeps the hot loop allocation
+// free.
 func (b *Batcher) worker() {
 	batch := make([]*request, 0, b.cfg.MaxBatch)
+	pts := make([]geom.Point, 0, b.cfg.MaxBatch)
+	labels := make([]geom.Label, b.cfg.MaxBatch)
 	var timer *time.Timer
 	for {
 		first, ok := <-b.queue
@@ -230,6 +235,18 @@ func (b *Batcher) worker() {
 		h, version := b.src()
 		if b.stats != nil {
 			b.stats.ObserveBatch(len(batch))
+		}
+		if bk, ok := h.(classifier.BatchClassifier); ok && len(batch) > 1 {
+			pts = pts[:0]
+			for _, r := range batch {
+				pts = append(pts, r.pt)
+			}
+			dst := labels[:len(batch)]
+			bk.ClassifyBatchInto(dst, pts)
+			for i, r := range batch {
+				r.resp <- Result{Label: dst[i], Version: version}
+			}
+			continue
 		}
 		for _, r := range batch {
 			r.resp <- Result{Label: h.Classify(r.pt), Version: version}

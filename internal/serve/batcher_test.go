@@ -110,6 +110,51 @@ func TestBatcherCoalesces(t *testing.T) {
 	}
 }
 
+// TestBatcherBatchKernel: when the model implements
+// classifier.BatchClassifier (AnchorSet does), a coalesced batch must
+// be scored through the batch kernel with per-slot answers intact. A
+// generous MaxWait lets the single worker gather the full batch.
+func TestBatcherBatchKernel(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	stats := &Stats{}
+	h := thresholdModel(t, 5)
+	const n = 8
+	b := NewBatcher(fixedSource(h, 3), BatcherConfig{
+		MaxBatch: n, MaxWait: time.Second, QueueCap: 64, Workers: 1,
+	}, stats)
+	defer b.Close()
+
+	xs := []float64{4.9, 5, 100, -3, 5.1, 0, 4.999, 7}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			res, err := b.Submit(context.Background(), geom.Point{x})
+			if err != nil {
+				t.Errorf("Submit(%g): %v", x, err)
+				return
+			}
+			if want := h.Classify(geom.Point{x}); res.Label != want || res.Version != 3 {
+				t.Errorf("Submit(%g) = (%v, v%d), want (%v, v3)", x, res.Label, res.Version, want)
+			}
+		}(xs[i])
+	}
+	wg.Wait()
+
+	var snap StatsSnapshot
+	stats.snapshotCounters(&snap)
+	if snap.BatchPoints != n {
+		t.Errorf("batch points = %d, want %d", snap.BatchPoints, n)
+	}
+	// All n submitters were in flight before the first dispatch could
+	// complete its MaxWait gather, so at least one batch coalesced —
+	// that batch went through ClassifyBatchInto.
+	if snap.Batches >= n {
+		t.Errorf("batches = %d (hist %v): nothing coalesced, kernel path never ran", snap.Batches, snap.BatchSizeHist)
+	}
+}
+
 // TestBatcherMaxWaitFires: a lone request must not wait for a full
 // batch — the MaxWait timer has to flush it.
 func TestBatcherMaxWaitFires(t *testing.T) {

@@ -220,11 +220,14 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 		pts[i] = pt
 	}
 	// A client batch is already a batch: classify it inline against one
-	// snapshot instead of re-queuing point by point.
+	// snapshot through the model's batch kernel instead of re-queuing
+	// point by point.
 	snap := s.reg.Snapshot()
+	out := make([]geom.Label, len(pts))
+	snap.Model.ClassifyBatchInto(out, pts)
 	labels := make([]int, len(pts))
-	for i, pt := range pts {
-		labels[i] = int(snap.Model.Classify(pt))
+	for i, l := range out {
+		labels[i] = int(l)
 	}
 	s.stats.ObserveBatch(len(pts))
 	s.stats.AddRequests(len(pts))

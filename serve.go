@@ -68,6 +68,12 @@ func Serve(ctx context.Context, addr string, initial *AnchorSet, cfg ServeConfig
 	if err != nil {
 		return err
 	}
+	// Install the signal handler before announcing the address: a
+	// supervisor that interrupts as soon as it sees the banner must hit
+	// the graceful drain, not the default process-killing disposition.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	bound, err := srv.Start(addr)
 	if err != nil {
 		return err
@@ -75,9 +81,6 @@ func Serve(ctx context.Context, addr string, initial *AnchorSet, cfg ServeConfig
 	if announce != nil {
 		announce(bound.String())
 	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sig)
 	select {
 	case <-ctx.Done():
 	case <-sig:
