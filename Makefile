@@ -9,13 +9,15 @@
 #   make bench-maxflow     regenerate BENCH_maxflow.json (flow-solver engine)
 #   make bench-classify    regenerate BENCH_classify.json (anchor index vs scalar)
 #   make bench-serve       regenerate BENCH_serve.json (serving layer loadgen)
+#   make bench-online      regenerate BENCH_online.json (incremental vs retrain)
+#   make fuzz-online       short fuzz pass over the online delta intake
 #   make serve-stress      long hot-swap/soak stress of the serving layer
 #   make verify            everything CI gates on, in order
 #   make verify-full       verify + the benchmark regenerations
 
 GO ?= go
 
-.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve serve-stress verify verify-full clean
+.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve bench-online fuzz-online serve-stress verify verify-full clean
 
 all: check
 
@@ -92,6 +94,22 @@ else
 	$(GO) run ./cmd/loadgen -out BENCH_serve.json -seed 42
 endif
 
+# Amortized per-delta cost of the incremental learner (exact and lazy
+# rebuild cadences) against full retrains on the same delta trace
+# (cmd/benchtab -online). Takes ~2min; add QUICK=1 for a seconds-scale
+# smoke run that overwrites nothing.
+bench-online:
+ifdef QUICK
+	$(GO) run ./cmd/benchtab -online /tmp/BENCH_online.quick.json -seed 42 -quick
+else
+	$(GO) run ./cmd/benchtab -online BENCH_online.json -seed 42
+endif
+
+# Coverage-guided fuzz of the online updater's byte-decoded delta
+# traces: no panics, contract-only rejections, retrain equivalence.
+fuzz-online:
+	$(GO) test -run FuzzOnlineTrace -fuzz FuzzOnlineTrace -fuzztime 30s ./internal/online
+
 # Heavier serving-layer adversarial pass: the hot-swap storm and HTTP
 # soak tests with boosted iteration counts, under the race detector.
 serve-stress:
@@ -99,7 +117,7 @@ serve-stress:
 
 verify: build vet test race conformance conformance-mutate
 
-verify-full: verify bench-domkernel bench-maxflow bench-classify bench-serve
+verify-full: verify bench-domkernel bench-maxflow bench-classify bench-serve bench-online
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	benchtab -domkernel FILE
 //	benchtab -maxflow FILE
 //	benchtab -classify FILE
+//	benchtab -online FILE
 //	benchtab -conformance [-trials N] [-long] [-repro-dir DIR]
 //
 // The full run takes a few minutes; -quick shrinks workloads to
@@ -20,6 +21,9 @@
 // re-solve check (see runMaxflowBench). -classify times the anchor
 // classifier's scalar scan against the indexed and batch-kernel paths
 // across a (queries, dimension, anchors) grid (see runClassifyBench).
+// -online times the incremental learner's amortized per-delta cost —
+// exact (rebuild every delta) and lazy (rebuild every 64) — against
+// full retrains over the same insert/delete trace (see runOnlineBench).
 // -conformance runs the
 // differential/metamorphic
 // engine (internal/conformance) and exits non-zero on any divergence,
@@ -44,6 +48,7 @@ func main() {
 	domkernel := flag.String("domkernel", "", "write dominance-kernel benchmark JSON to this file and exit")
 	maxflowOut := flag.String("maxflow", "", "write max-flow solver benchmark JSON to this file and exit")
 	classifyOut := flag.String("classify", "", "write classifier index benchmark JSON to this file and exit")
+	onlineOut := flag.String("online", "", "write online incremental-vs-retrain benchmark JSON to this file and exit")
 	conf := flag.Bool("conformance", false, "run the differential/metamorphic conformance engine and exit")
 	trials := flag.Int("trials", 200, "conformance trials (with -conformance)")
 	long := flag.Bool("long", false, "conformance soak mode: larger instance schedule (with -conformance)")
@@ -76,6 +81,14 @@ func main() {
 
 	if *classifyOut != "" {
 		if err := runClassifyBench(*classifyOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *onlineOut != "" {
+		if err := runOnlineBench(*onlineOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

@@ -19,6 +19,12 @@
 // points per /classify/batch request, where -requests counts points
 // and throughput_rps reports classifications per second. An optional
 // "@PROCS" suffix pins runtime.GOMAXPROCS for that row ("32x2ms@2").
+//
+// With -learn-every N the in-process server is started with online
+// learning enabled and every Nth classify call also posts one /learn
+// insert delta, so each row measures classify latency under model
+// churn (hot swaps racing the classify path); learn_requests,
+// learn_accepted, and learn_rejected are reported per row.
 package main
 
 import (
@@ -76,6 +82,11 @@ type configRow struct {
 	Errors        int64   `json:"errors"`
 	MeanBatch     float64 `json:"mean_batch"`
 	Batches       int64   `json:"batches"`
+	// Learn-traffic counters (zero unless -learn-every mixes /learn
+	// deltas into the classify stream).
+	LearnRequests int64 `json:"learn_requests,omitempty"`
+	LearnAccepted int64 `json:"learn_accepted,omitempty"`
+	LearnRejected int64 `json:"learn_rejected,omitempty"`
 }
 
 // options collects the knobs so tests can call run directly.
@@ -91,6 +102,7 @@ type options struct {
 	concurrency int
 	configs     string
 	url         string
+	learnEvery  int
 }
 
 func main() {
@@ -107,6 +119,8 @@ func main() {
 	flag.StringVar(&opt.configs, "configs", "1x0s,8x1ms,32x2ms,32x2ms@2,b64,b512,b512@2",
 		"comma-separated SPEC[@PROCS] configurations (SPEC = MAXBATCHxMAXWAIT or bN for client batches)")
 	flag.StringVar(&opt.url, "url", "", "replay against an external server instead of in-process (single row)")
+	flag.IntVar(&opt.learnEvery, "learn-every", 0,
+		"every Nth classify call also posts one /learn insert delta, measuring serving under model churn (0: disabled; in-process only)")
 	flag.Parse()
 
 	if err := run(opt, os.Stdout); err != nil {
@@ -161,7 +175,7 @@ func run(opt options, logw io.Writer) error {
 	}
 
 	if opt.url != "" {
-		row, err := replay(opt.url, pts, opt.requests, opt.concurrency, 0, nil)
+		row, err := replay(opt.url, pts, opt.requests, opt.concurrency, 0, 0, nil)
 		if err != nil {
 			return err
 		}
@@ -180,6 +194,10 @@ func run(opt options, logw io.Writer) error {
 			} else {
 				fmt.Fprintf(logw, "loadgen: batch=%d wait=%s procs=%d → %.0f req/s, p50=%.0fµs p99=%.0fµs (mean batch %.2f)\n",
 					bc.batcher.MaxBatch, bc.batcher.MaxWait, row.GOMAXPROCS, row.ThroughputRPS, row.P50Micros, row.P99Micros, row.MeanBatch)
+			}
+			if opt.learnEvery > 0 {
+				fmt.Fprintf(logw, "loadgen:   learn: %d posted, %d accepted, %d rejected\n",
+					row.LearnRequests, row.LearnAccepted, row.LearnRejected)
 			}
 		}
 	}
@@ -214,6 +232,14 @@ func generate(rng *rand.Rand, opt options) ([]monoclass.LabeledPoint, error) {
 	default:
 		return nil, fmt.Errorf("unknown kind %q", opt.kind)
 	}
+}
+
+// learnDelta mirrors the POST /learn wire shape.
+type learnDelta struct {
+	Op     string    `json:"op"`
+	Point  []float64 `json:"point"`
+	Label  int       `json:"label"`
+	Weight float64   `json:"weight"`
 }
 
 // benchConfig is one parsed configuration row: either a server-side
@@ -277,7 +303,14 @@ func runRow(bc benchConfig, model *monoclass.AnchorSet, pts []monoclass.Point, o
 		prev := runtime.GOMAXPROCS(bc.procs)
 		defer runtime.GOMAXPROCS(prev)
 	}
-	srv, err := monoclass.NewServer(model, monoclass.ServeConfig{Batch: bc.batcher})
+	cfg := monoclass.ServeConfig{Batch: bc.batcher}
+	if opt.learnEvery > 0 {
+		// Start the online updater cold (empty multiset): the loaded
+		// model serves while incremental deltas stream in, so the row
+		// measures the classify path racing live model swaps.
+		cfg.Online = &monoclass.ServeOnlineConfig{QueueCap: 8192}
+	}
+	srv, err := monoclass.NewServer(model, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +319,7 @@ func runRow(bc benchConfig, model *monoclass.AnchorSet, pts []monoclass.Point, o
 		srv.Close()
 		return nil, err
 	}
-	row, err := replay("http://"+addr.String(), pts, opt.requests, opt.concurrency, bc.clientBatch, srv)
+	row, err := replay("http://"+addr.String(), pts, opt.requests, opt.concurrency, bc.clientBatch, opt.learnEvery, srv)
 	if cerr := srv.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -309,8 +342,11 @@ func runRow(bc benchConfig, model *monoclass.AnchorSet, pts []monoclass.Point, o
 // aggregates latencies; srv (optional) supplies /stats-backed batch
 // shape numbers. clientBatch > 0 switches to /classify/batch with that
 // many points per call: requests then counts points, and the reported
-// throughput is classifications per second.
-func replay(url string, pts []monoclass.Point, requests, concurrency, clientBatch int, srv *monoclass.Server) (*configRow, error) {
+// throughput is classifications per second. learnEvery > 0 interleaves
+// one POST /learn insert delta after every learnEvery-th classify call
+// on each client; learn calls are counted separately and excluded from
+// the classify latency percentiles.
+func replay(url string, pts []monoclass.Point, requests, concurrency, clientBatch, learnEvery int, srv *monoclass.Server) (*configRow, error) {
 	calls := requests
 	path := "/classify"
 	var bodies [][]byte
@@ -347,6 +383,22 @@ func replay(url string, pts []monoclass.Point, requests, concurrency, clientBatc
 			bodies[i] = b
 		}
 	}
+	var learnBodies [][]byte
+	if learnEvery > 0 {
+		// Insert deltas drawn from the query distribution. Labels
+		// alternate by index so the stream keeps planting fresh
+		// monotonicity violations — each rebuild has real work to do.
+		learnBodies = make([][]byte, len(pts))
+		for i, p := range pts {
+			b, err := json.Marshal(struct {
+				Deltas []learnDelta `json:"deltas"`
+			}{Deltas: []learnDelta{{Op: "insert", Point: p, Label: i % 2, Weight: 1}}})
+			if err != nil {
+				return nil, err
+			}
+			learnBodies[i] = b
+		}
+	}
 	if concurrency < 1 {
 		concurrency = 1
 	}
@@ -355,11 +407,14 @@ func replay(url string, pts []monoclass.Point, requests, concurrency, clientBatc
 	}
 
 	var (
-		rejected atomic.Int64
-		errors   atomic.Int64
-		mu       sync.Mutex
-		all      []time.Duration
-		firstErr atomic.Value
+		rejected  atomic.Int64
+		errors    atomic.Int64
+		learnReqs atomic.Int64
+		learnAcc  atomic.Int64
+		learnRej  atomic.Int64
+		mu        sync.Mutex
+		all       []time.Duration
+		firstErr  atomic.Value
 	)
 	per := (calls + concurrency - 1) / concurrency
 	transport := &http.Transport{MaxIdleConnsPerHost: concurrency}
@@ -393,6 +448,26 @@ func replay(url string, pts []monoclass.Point, requests, concurrency, clientBatc
 					rejected.Add(1)
 				default:
 					errors.Add(1)
+				}
+				if learnEvery > 0 && i%learnEvery == learnEvery-1 {
+					lb := learnBodies[idx%len(learnBodies)]
+					learnReqs.Add(1)
+					resp, err := client.Post(url+"/learn", "application/json", strings.NewReader(string(lb)))
+					if err != nil {
+						errors.Add(1)
+						firstErr.CompareAndSwap(nil, err)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusAccepted:
+						learnAcc.Add(1)
+					case http.StatusTooManyRequests:
+						learnRej.Add(1)
+					default:
+						errors.Add(1)
+					}
 				}
 			}
 			mu.Lock()
@@ -430,6 +505,9 @@ func replay(url string, pts []monoclass.Point, requests, concurrency, clientBatc
 		MaxMicros:     float64(all[len(all)-1]) / float64(time.Microsecond),
 		Rejected:      rejected.Load(),
 		Errors:        errors.Load(),
+		LearnRequests: learnReqs.Load(),
+		LearnAccepted: learnAcc.Load(),
+		LearnRejected: learnRej.Load(),
 	}
 	if srv != nil {
 		resp, err := http.Get(url + "/stats")

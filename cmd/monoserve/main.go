@@ -8,15 +8,25 @@
 //	monoserve -model model.json [-addr :8080] [-max-batch 32]
 //	          [-max-wait 2ms] [-queue 1024] [-workers N]
 //	          [-holdout data.csv -max-werr 120] [-spot-audit]
+//	          [-learn] [-train data.csv] [-rebuild-every 64]
+//	          [-max-drift W] [-learn-queue 1024] [-no-interim]
+//
+// With -train, the initial model is trained from the labeled CSV at
+// startup instead of loaded with -model, and (with -learn) the online
+// updater starts from that same multiset — so incremental deltas via
+// POST /learn extend exactly the state being served. -learn with
+// -model starts the updater from an empty multiset: the loaded model
+// serves until the first exact rebuild retrains on the deltas alone.
 //
 // Endpoints:
 //
 //	POST /classify        {"point":[...]}         single point
 //	POST /classify/batch  {"points":[[...],...]}  client-side batch
+//	POST /learn           {"deltas":[...]}        insert/delete labeled points (with -learn)
 //	GET  /model           current model JSON (X-Model-Version header)
 //	POST /model           promote a new model (gated by audits)
 //	GET  /healthz         liveness + current version
-//	GET  /stats           counters: requests, batch histogram, swaps
+//	GET  /stats           counters: requests, batch histogram, swaps, online learning
 //
 // The process drains gracefully on SIGINT/SIGTERM: accepted requests
 // are answered before exit. When the queue is full, new requests are
@@ -52,19 +62,45 @@ func run(args []string) error {
 	holdout := fs.String("holdout", "", "labeled CSV; candidate models must fit it within -max-werr to be promoted")
 	maxWErr := fs.Float64("max-werr", 0, "weighted-error budget on -holdout for model promotion")
 	spotAudit := fs.Bool("spot-audit", false, "re-check monotonicity of candidate models before promotion")
+	learn := fs.Bool("learn", false, "enable the POST /learn incremental-learning endpoint")
+	train := fs.String("train", "", "labeled CSV to train the initial model from (alternative to -model; implies -learn seeding)")
+	rebuildEvery := fs.Int("rebuild-every", 64, "exact re-solve after this many deltas (1: every delta)")
+	maxDrift := fs.Float64("max-drift", 0, "force an exact re-solve when the drift bound exceeds this weight (0: no cap)")
+	learnQueue := fs.Int("learn-queue", 1024, "bounded delta queue capacity (backpressure beyond it)")
+	noInterim := fs.Bool("no-interim", false, "disable cheap interim models between exact re-solves")
 	fs.Parse(args)
-	if *model == "" {
-		return fmt.Errorf("-model is required")
+	if (*model == "") == (*train == "") {
+		return fmt.Errorf("exactly one of -model or -train is required")
 	}
 
-	f, err := os.Open(*model)
-	if err != nil {
-		return err
-	}
-	h, err := monoclass.LoadModel(f)
-	f.Close()
-	if err != nil {
-		return err
+	var h *monoclass.AnchorSet
+	var trainSet monoclass.WeightedSet
+	if *train != "" {
+		tf, err := os.Open(*train)
+		if err != nil {
+			return err
+		}
+		trainSet, err = monoclass.ReadCSV(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+		sol, err := monoclass.OptimalPassive(trainSet)
+		if err != nil {
+			return err
+		}
+		h = sol.Classifier
+		fmt.Printf("monoserve: trained on %d points, optimal weighted error %g\n", len(trainSet), sol.WErr)
+	} else {
+		f, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		h, err = monoclass.LoadModel(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
 	}
 
 	var audits []monoclass.AuditFunc
@@ -93,6 +129,15 @@ func run(args []string) error {
 	}
 	if len(audits) > 0 {
 		cfg.Audit = monoclass.ChainAudits(audits...)
+	}
+	if *learn || *train != "" {
+		cfg.Online = &monoclass.ServeOnlineConfig{
+			Initial:        trainSet, // empty with -model: cold updater
+			RebuildEvery:   *rebuildEvery,
+			MaxDrift:       *maxDrift,
+			DisableInterim: *noInterim,
+			QueueCap:       *learnQueue,
+		}
 	}
 
 	return monoclass.Serve(context.Background(), *addr, h, cfg, func(bound string) {

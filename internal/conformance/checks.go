@@ -42,6 +42,8 @@ func Checks() []Check {
 		{"classifier-indexed-vs-scalar", CheckClassifierIndexed},
 		{"passive-differential", CheckPassiveDifferential},
 		{"active-exhaustive-exact", CheckActiveExhaustive},
+		{"online-incremental-vs-retrain", CheckOnlineIncremental},
+		{"online-drift-bound", CheckOnlineDriftBound},
 		{"meta-monotone-transform", CheckMetaMonotoneTransform},
 		{"meta-duality", CheckMetaDuality},
 		{"meta-duplication", CheckMetaDuplication},

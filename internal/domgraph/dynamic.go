@@ -1,0 +1,279 @@
+package domgraph
+
+import (
+	"fmt"
+	"math/bits"
+
+	"monoclass/internal/geom"
+)
+
+// Dynamic is a mutable dominance matrix for online workloads: the
+// bit-packed closure and DAG relations of Build, maintained under
+// point insertions and deletions instead of being rebuilt from
+// scratch.
+//
+//   - Insert appends a point as the highest slot and patches one row
+//     (the new point's dominated set, O(n·d) scalar tests packed into
+//     words) plus one column bit per existing row — O(n·d) total,
+//     against the O(d·n²/64) of a full Build.
+//   - Delete tombstones a slot: its bits stay in place but the slot is
+//     excluded from live views. Compact drops tombstoned slots and
+//     remaps the surviving bits, restoring the dense layout; callers
+//     amortize it over many deletes.
+//
+// The DAG tiebreak for coordinate-equal points is DominanceEdge's
+// index order. Because Insert always appends at the highest slot and
+// Compact preserves relative order, slot order always equals the
+// index order of the live point list, so a compacted Dynamic is
+// bit-for-bit identical to Build over its live points — the property
+// tests hold it to that with Diff against BuildNaive.
+//
+// A Dynamic is not safe for concurrent use; callers serialize access
+// (internal/online wraps it in the updater's mutex).
+type Dynamic struct {
+	dim   int
+	pts   []geom.Point // one per slot, insertion order; tombstoned slots keep their point
+	alive []bool
+	dead  int
+	words int // words per row: ceil(slots/64), kept tight so views are Build-compatible
+	dom   []uint64
+	dag   []uint64
+}
+
+// NewDynamic builds a dynamic matrix over the initial points (which
+// may be empty) using the parallel kernel builder. dim must be
+// positive; every initial and inserted point must carry exactly dim
+// coordinates.
+func NewDynamic(dim int, pts []geom.Point) (*Dynamic, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("domgraph: dimension %d must be positive", dim)
+	}
+	for i, p := range pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("domgraph: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	d := &Dynamic{dim: dim}
+	if len(pts) == 0 {
+		return d, nil
+	}
+	m := Build(pts)
+	d.pts = make([]geom.Point, len(pts))
+	for i, p := range pts {
+		d.pts[i] = p.Clone()
+	}
+	d.alive = make([]bool, len(pts))
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+	d.words = m.words
+	d.dom = append([]uint64(nil), m.dom...)
+	d.dag = append([]uint64(nil), m.dag...)
+	return d, nil
+}
+
+// Dim returns the dimensionality of the point set.
+func (d *Dynamic) Dim() int { return d.dim }
+
+// Slots returns the number of slots, tombstoned ones included.
+func (d *Dynamic) Slots() int { return len(d.pts) }
+
+// Live returns the number of live (non-tombstoned) slots.
+func (d *Dynamic) Live() int { return len(d.pts) - d.dead }
+
+// Dead returns the number of tombstoned slots awaiting compaction.
+func (d *Dynamic) Dead() int { return d.dead }
+
+// Alive reports whether slot i is live.
+func (d *Dynamic) Alive(i int) bool { return d.alive[i] }
+
+// Point returns the point in slot i (live or tombstoned). The caller
+// must not modify the returned slice.
+func (d *Dynamic) Point(i int) geom.Point { return d.pts[i] }
+
+// Dominates reports pts[i] ⪰ pts[j] over slots (tombstoned slots keep
+// answering; callers filter by Alive).
+func (d *Dynamic) Dominates(i, j int) bool {
+	return d.dom[i*d.words+(j>>6)]>>(uint(j)&63)&1 == 1
+}
+
+// Insert appends p as a new live slot and patches the matrix: the new
+// row is p's dominated set, and every existing row gains the new
+// column bit where it dominates p. Coordinate-equal duplicates follow
+// DominanceEdge's index tiebreak: the new (highest) slot chains above
+// every older equal slot. Returns the new slot index.
+func (d *Dynamic) Insert(p geom.Point) (int, error) {
+	if len(p) != d.dim {
+		return 0, fmt.Errorf("domgraph: inserted point has dimension %d, want %d", len(p), d.dim)
+	}
+	n := len(d.pts)
+	newWords := (n + 1 + 63) / 64
+	if newWords != d.words {
+		d.relayout(newWords)
+	}
+	w := d.words
+	d.pts = append(d.pts, p.Clone())
+	d.alive = append(d.alive, true)
+	d.dom = append(d.dom, make([]uint64, w)...)
+	d.dag = append(d.dag, make([]uint64, w)...)
+
+	domRow := d.dom[n*w : (n+1)*w]
+	dagRow := d.dag[n*w : (n+1)*w]
+	colWord, colBit := n>>6, uint64(1)<<uint(n&63)
+	for j := 0; j < n; j++ {
+		dj := geom.Dominates(d.pts[n], d.pts[j])
+		if dj {
+			domRow[j>>6] |= 1 << uint(j&63)
+			// New slot has the highest index, so the equal-point
+			// tiebreak always keeps the edge new -> old.
+			dagRow[j>>6] |= 1 << uint(j&63)
+		}
+		if geom.Dominates(d.pts[j], p) {
+			d.dom[j*w+colWord] |= colBit
+			if !dj || !d.pts[j].Equal(p) {
+				// Old slot's edge to the new one exists only for strict
+				// dominance: for equal points the old index is lower,
+				// so DominanceEdge(old, new) is false.
+				d.dag[j*w+colWord] |= colBit
+			}
+		}
+	}
+	// Self bit: reflexive in the closure, never in the DAG.
+	domRow[colWord] |= colBit
+	return n, nil
+}
+
+// Delete tombstones slot i. It reports false when the slot is already
+// tombstoned or out of range. The slot's bits stay in place until
+// Compact.
+func (d *Dynamic) Delete(i int) bool {
+	if i < 0 || i >= len(d.pts) || !d.alive[i] {
+		return false
+	}
+	d.alive[i] = false
+	d.dead++
+	return true
+}
+
+// relayout rewrites the matrix with newWords words per row (row
+// stride change when the slot count crosses a 64 boundary).
+func (d *Dynamic) relayout(newWords int) {
+	n := len(d.pts)
+	dom := make([]uint64, 0, (n+64)*newWords)
+	dag := make([]uint64, 0, (n+64)*newWords)
+	dom = dom[:n*newWords]
+	dag = dag[:n*newWords]
+	for i := 0; i < n; i++ {
+		copy(dom[i*newWords:], d.dom[i*d.words:(i+1)*d.words])
+		copy(dag[i*newWords:], d.dag[i*d.words:(i+1)*d.words])
+	}
+	d.dom, d.dag, d.words = dom, dag, newWords
+}
+
+// Compact drops tombstoned slots, remapping the surviving rows and
+// columns so live slots occupy 0..Live()-1 in their original relative
+// order. It returns the old slot index of each new slot (identity
+// when nothing was dead), so callers can remap parallel arrays.
+func (d *Dynamic) Compact() []int {
+	n := len(d.pts)
+	newToOld := make([]int, 0, n-d.dead)
+	oldToNew := make([]int, n)
+	for i := 0; i < n; i++ {
+		if d.alive[i] {
+			oldToNew[i] = len(newToOld)
+			newToOld = append(newToOld, i)
+		} else {
+			oldToNew[i] = -1
+		}
+	}
+	if d.dead == 0 {
+		return newToOld
+	}
+	a := len(newToOld)
+	words := (a + 63) / 64
+	dom := make([]uint64, a*words)
+	dag := make([]uint64, a*words)
+	pts := make([]geom.Point, a)
+	for ni, oi := range newToOld {
+		pts[ni] = d.pts[oi]
+		compactRow(dom[ni*words:(ni+1)*words], d.dom[oi*d.words:(oi+1)*d.words], oldToNew)
+		compactRow(dag[ni*words:(ni+1)*words], d.dag[oi*d.words:(oi+1)*d.words], oldToNew)
+	}
+	d.pts = pts
+	d.alive = make([]bool, a)
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+	d.dead = 0
+	d.words, d.dom, d.dag = words, dom, dag
+	return newToOld
+}
+
+// compactRow copies the bits of src whose columns survive into dst at
+// their remapped positions, iterating set bits (dominance rows are
+// sparse after deletions of dense regions, and compaction is
+// amortized over many deletes).
+func compactRow(dst, src []uint64, oldToNew []int) {
+	for w, word := range src {
+		for word != 0 {
+			j := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if nj := oldToNew[j]; nj >= 0 {
+				dst[nj>>6] |= 1 << uint(nj&63)
+			}
+		}
+	}
+}
+
+// MatrixView returns the live matrix as a read-only *Matrix sharing
+// this Dynamic's storage — zero-copy input for chains.DecomposeMatrix
+// and the passive solver. It requires a compacted state (no
+// tombstones); the view is invalidated by the next mutation.
+func (d *Dynamic) MatrixView() *Matrix {
+	if d.dead > 0 {
+		panic(fmt.Sprintf("domgraph: MatrixView with %d tombstoned slots; Compact first", d.dead))
+	}
+	n := len(d.pts)
+	return &Matrix{n: n, words: d.words, dom: d.dom[:n*d.words], dag: d.dag[:n*d.words]}
+}
+
+// Snapshot returns a compacted deep copy of the live matrix without
+// mutating the Dynamic — the differential-testing hook: it must equal
+// Build (and BuildNaive) over LivePoints, bit for bit, under Diff.
+func (d *Dynamic) Snapshot() *Matrix {
+	n := len(d.pts)
+	oldToNew := make([]int, n)
+	live := 0
+	for i := 0; i < n; i++ {
+		if d.alive[i] {
+			oldToNew[i] = live
+			live++
+		} else {
+			oldToNew[i] = -1
+		}
+	}
+	m := newMatrix(live)
+	ni := 0
+	for i := 0; i < n; i++ {
+		if !d.alive[i] {
+			continue
+		}
+		compactRow(m.dom[ni*m.words:(ni+1)*m.words], d.dom[i*d.words:(i+1)*d.words], oldToNew)
+		compactRow(m.dag[ni*m.words:(ni+1)*m.words], d.dag[i*d.words:(i+1)*d.words], oldToNew)
+		ni++
+	}
+	return m
+}
+
+// LivePoints returns the live points in slot order — the point list a
+// freshly built matrix over this Dynamic's state corresponds to. The
+// caller must not modify the returned points.
+func (d *Dynamic) LivePoints() []geom.Point {
+	out := make([]geom.Point, 0, d.Live())
+	for i, p := range d.pts {
+		if d.alive[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

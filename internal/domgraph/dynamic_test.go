@@ -1,0 +1,214 @@
+package domgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+// gridPoint draws coordinates from a small integer grid so traces are
+// dense in duplicates, coordinate-equal points, and comparable pairs —
+// the cases where the DAG tiebreak and the column patch can go wrong.
+func gridPoint(rng *rand.Rand, dim int) geom.Point {
+	p := make(geom.Point, dim)
+	for i := range p {
+		p[i] = float64(rng.Intn(4))
+	}
+	return p
+}
+
+// checkAgainstNaive holds the Dynamic's live matrix to exact bit
+// agreement with the scalar oracle over its live points.
+func checkAgainstNaive(t *testing.T, d *Dynamic, step int) {
+	t.Helper()
+	want := BuildNaive(d.LivePoints())
+	if diff := Diff(d.Snapshot(), want); diff != "" {
+		t.Fatalf("step %d (live=%d): snapshot != BuildNaive: %s", step, d.Live(), diff)
+	}
+}
+
+func TestDynamicInsertMatchesNaive(t *testing.T) {
+	for dim := 1; dim <= 4; dim++ {
+		rng := rand.New(rand.NewSource(int64(100 + dim)))
+		d, err := NewDynamic(dim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 150 inserts crosses the 64- and 128-slot word boundaries, so
+		// the relayout path runs twice.
+		for i := 0; i < 150; i++ {
+			if _, err := d.Insert(gridPoint(rng, dim)); err != nil {
+				t.Fatal(err)
+			}
+			if i < 10 || i%10 == 0 || i >= 148 {
+				checkAgainstNaive(t, d, i)
+			}
+		}
+	}
+}
+
+func TestDynamicInsertThenDeleteIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	initial := make([]geom.Point, 70)
+	for i := range initial {
+		initial[i] = gridPoint(rng, 3)
+	}
+	d, err := NewDynamic(3, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 30; step++ {
+		before := d.Snapshot()
+		slot, err := d.Insert(gridPoint(rng, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Delete(slot) {
+			t.Fatalf("step %d: Delete(%d) = false", step, slot)
+		}
+		if diff := Diff(d.Snapshot(), before); diff != "" {
+			t.Fatalf("step %d: insert-then-delete changed the live matrix: %s", step, diff)
+		}
+	}
+}
+
+func TestDynamicRandomTrace(t *testing.T) {
+	for dim := 1; dim <= 4; dim++ {
+		rng := rand.New(rand.NewSource(int64(9000 + dim)))
+		d, err := NewDynamic(dim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 400; step++ {
+			if d.Live() == 0 || rng.Intn(3) != 0 {
+				if _, err := d.Insert(gridPoint(rng, dim)); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Delete a random live slot.
+				k := rng.Intn(d.Live())
+				for i := 0; i < d.Slots(); i++ {
+					if !d.Alive(i) {
+						continue
+					}
+					if k == 0 {
+						if !d.Delete(i) {
+							t.Fatalf("step %d: Delete(%d) = false on live slot", step, i)
+						}
+						break
+					}
+					k--
+				}
+			}
+			if step%20 == 0 {
+				checkAgainstNaive(t, d, step)
+			}
+			if step%100 == 99 {
+				// Compaction must preserve the live matrix and leave a
+				// view identical to a fresh Build.
+				before := d.Snapshot()
+				remap := d.Compact()
+				if len(remap) != d.Live() || d.Dead() != 0 {
+					t.Fatalf("step %d: Compact left live=%d dead=%d remap=%d", step, d.Live(), d.Dead(), len(remap))
+				}
+				if diff := Diff(d.Snapshot(), before); diff != "" {
+					t.Fatalf("step %d: Compact changed the live matrix: %s", step, diff)
+				}
+				if diff := Diff(d.MatrixView(), Build(d.LivePoints())); diff != "" {
+					t.Fatalf("step %d: MatrixView != Build: %s", step, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicDominatesMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d, err := NewDynamic(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := d.Insert(gridPoint(rng, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < d.Slots(); i++ {
+		for j := 0; j < d.Slots(); j++ {
+			want := geom.Dominates(d.Point(i), d.Point(j))
+			if got := d.Dominates(i, j); got != want {
+				t.Fatalf("Dominates(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDynamicMatrixViewRequiresCompact(t *testing.T) {
+	d, err := NewDynamic(1, []geom.Point{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Delete(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatrixView with tombstones did not panic")
+		}
+	}()
+	d.MatrixView()
+}
+
+func TestDynamicValidation(t *testing.T) {
+	if _, err := NewDynamic(0, nil); err == nil {
+		t.Error("NewDynamic(0, nil) accepted")
+	}
+	if _, err := NewDynamic(2, []geom.Point{{1}}); err == nil {
+		t.Error("NewDynamic accepted mismatched initial dimension")
+	}
+	d, err := NewDynamic(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert(geom.Point{1}); err == nil {
+		t.Error("Insert accepted mismatched dimension")
+	}
+	if d.Delete(-1) || d.Delete(0) {
+		t.Error("Delete accepted an out-of-range slot")
+	}
+	slot, err := d.Insert(geom.Point{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Delete(slot) {
+		t.Error("Delete(live slot) = false")
+	}
+	if d.Delete(slot) {
+		t.Error("double Delete = true")
+	}
+}
+
+func TestDynamicEmpty(t *testing.T) {
+	d, err := NewDynamic(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Live() != 0 || d.Slots() != 0 {
+		t.Fatalf("empty Dynamic: live=%d slots=%d", d.Live(), d.Slots())
+	}
+	if diff := Diff(d.MatrixView(), Build(nil)); diff != "" {
+		t.Fatalf("empty MatrixView != Build(nil): %s", diff)
+	}
+	// Delete everything after some inserts: back to an empty matrix.
+	for i := 0; i < 5; i++ {
+		if _, err := d.Insert(geom.Point{float64(i), 0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < d.Slots(); i++ {
+		d.Delete(i)
+	}
+	d.Compact()
+	if diff := Diff(d.MatrixView(), Build(nil)); diff != "" {
+		t.Fatalf("all-deleted MatrixView != Build(nil): %s", diff)
+	}
+}

@@ -52,6 +52,15 @@ type Options struct {
 	// need not be minimum — any valid one works; a wider one only
 	// costs edges.
 	Chains [][]int
+	// Matrix optionally supplies the precomputed dominance matrix of
+	// the input points (domgraph.Build over ws's points, in input
+	// order), skipping the O(dn²) relation build — the incremental
+	// updater (internal/online) maintains one under deltas and hands
+	// it in here. When set it drives the kernel path at every
+	// dimension, so two Solve calls over the same multiset with the
+	// same Matrix construct bit-identical networks. Ignored when Dense
+	// is set; Matrix.N() must equal len(ws).
+	Matrix *domgraph.Matrix
 }
 
 // Stats reports instance measurements from a Solve call, used by the
@@ -127,6 +136,22 @@ func buildGraph(ws geom.WeightedSet, opts Options) (builtGraph, error) {
 				}
 			}
 		}
+	case opts.Matrix != nil:
+		// Caller-supplied relation: same kernel path as below, minus
+		// the Build. Used by the online updater, whose dynamically
+		// patched matrix equals Build over the live points.
+		if opts.Matrix.N() != n {
+			return builtGraph{}, fmt.Errorf("passive: supplied matrix covers %d points, want %d", opts.Matrix.N(), n)
+		}
+		pts := make([]geom.Point, n)
+		labels := make([]geom.Label, n)
+		for i := range ws {
+			pts[i] = ws[i].P
+			labels[i] = ws[i].Label
+		}
+		km = opts.Matrix
+		kdec = chains.DecomposeMatrix(pts, km)
+		contending = km.ViolationParties(labels)
 	case opts.Chains == nil && ws.Dim() >= 3:
 		// Kernel path: the generic decomposition needs the O(dn²)
 		// dominance relation anyway, so build it once as a bit-packed

@@ -13,6 +13,7 @@ import (
 
 	"monoclass/internal/classifier"
 	"monoclass/internal/geom"
+	"monoclass/internal/online"
 )
 
 // Config tunes a Server. The zero value is serviceable: default
@@ -27,6 +28,9 @@ type Config struct {
 	MaxClientBatch int
 	// MaxBodyBytes caps request body sizes (default 8 MiB).
 	MaxBodyBytes int64
+	// Online, when non-nil, enables the incremental learning pipeline
+	// and the POST /learn endpoint (see OnlineConfig).
+	Online *OnlineConfig
 }
 
 // Server is the HTTP serving layer: a Registry for hot-swappable
@@ -35,17 +39,20 @@ type Config struct {
 //
 //	POST /classify        {"point":[...]}          → {"label":L,"version":V}
 //	POST /classify/batch  {"points":[[...],...]}   → {"labels":[...],"version":V}
+//	POST /learn           {"deltas":[...]}         → {"accepted":N,"queue_depth":D} (with Config.Online)
 //	GET  /model                                    → current model JSON (X-Model-Version header)
 //	POST /model           model JSON               → {"version":V,"dim":D,"anchors":N}
 //	GET  /healthz                                  → {"status":"ok","version":V,...}
 //	GET  /stats                                    → StatsSnapshot
 //
 // Backpressure: when the batcher queue is full, /classify answers
-// 429 with a Retry-After header instead of queuing unboundedly.
+// 429 with a Retry-After header instead of queuing unboundedly; the
+// learn queue behaves the same way.
 type Server struct {
 	cfg     Config
 	reg     *Registry
 	bat     *Batcher
+	pipe    *online.Pipeline // nil unless Config.Online is set
 	stats   *Stats
 	mux     *http.ServeMux
 	started time.Time
@@ -82,7 +89,14 @@ func NewServer(initial *classifier.AnchorSet, cfg Config) (*Server, error) {
 		stats:   stats,
 		started: time.Now(),
 	}
+	if cfg.Online != nil {
+		if err := s.newLearner(cfg.Online); err != nil {
+			s.bat.Close()
+			return nil, err
+		}
+	}
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /learn", s.handleLearn)
 	s.mux.HandleFunc("POST /classify", s.handleClassify)
 	s.mux.HandleFunc("POST /classify/batch", s.handleClassifyBatch)
 	s.mux.HandleFunc("GET /model", s.handleModelGet)
@@ -134,7 +148,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = hsrv.Shutdown(ctx)
 	}
 	// In-flight handlers are done (or abandoned at ctx deadline);
-	// draining the queue now answers everything already accepted.
+	// draining the queues now applies every delta and answers every
+	// classify already accepted. The learner drains first so its final
+	// model promotion is visible to the batcher's remaining work.
+	if s.pipe != nil {
+		s.pipe.Close()
+	}
 	s.bat.Close()
 	return err
 }
@@ -276,6 +295,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap.Swaps = s.reg.Swaps()
 	snap.AuditRejects = s.reg.AuditRejects()
 	snap.UptimeMillis = time.Since(s.started).Milliseconds()
+	if s.pipe != nil {
+		snap.Online = &OnlineStats{
+			StatsSnapshot: s.pipe.Updater().Stats(),
+			QueueDepth:    s.pipe.QueueDepth(),
+			QueueCap:      s.pipe.QueueCap(),
+		}
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

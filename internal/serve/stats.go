@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"strconv"
 	"sync/atomic"
+
+	"monoclass/internal/online"
 )
 
 // histBuckets is the number of power-of-two batch-size histogram
@@ -68,6 +70,17 @@ type StatsSnapshot struct {
 	Swaps         int64            `json:"swaps"`
 	AuditRejects  int64            `json:"audit_rejects"`
 	UptimeMillis  int64            `json:"uptime_ms"`
+	// Online reports the incremental learning pipeline; omitted when
+	// online learning is not enabled.
+	Online *OnlineStats `json:"online,omitempty"`
+}
+
+// OnlineStats is the /stats section for the learning pipeline: the
+// updater counters plus the intake queue gauges.
+type OnlineStats struct {
+	online.StatsSnapshot
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
 }
 
 // snapshotCounters fills the counter-derived fields of a snapshot.
