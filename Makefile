@@ -10,14 +10,16 @@
 #   make bench-classify    regenerate BENCH_classify.json (anchor index vs scalar)
 #   make bench-serve       regenerate BENCH_serve.json (serving layer loadgen)
 #   make bench-online      regenerate BENCH_online.json (incremental vs retrain)
+#   make bench-problem     regenerate BENCH_problem.json (prepared-problem lifecycle)
 #   make fuzz-online       short fuzz pass over the online delta intake
+#   make fuzz-problem      short fuzz pass over problem deserialization
 #   make serve-stress      long hot-swap/soak stress of the serving layer
 #   make verify            everything CI gates on, in order
 #   make verify-full       verify + the benchmark regenerations
 
 GO ?= go
 
-.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve bench-online fuzz-online serve-stress verify verify-full clean
+.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve bench-online bench-problem fuzz-online fuzz-problem serve-stress verify verify-full clean
 
 all: check
 
@@ -105,10 +107,28 @@ else
 	$(GO) run ./cmd/benchtab -online BENCH_online.json -seed 42
 endif
 
+# Prepared-problem lifecycle sweep: prepare / first-solve / warm
+# re-solve wall times and peak memory across n up to 10⁶ and the three
+# matrix modes, plus the dense-guard refusal (cmd/benchtab -problem).
+# Takes ~1min; add QUICK=1 for a seconds-scale smoke run that
+# overwrites nothing.
+bench-problem:
+ifdef QUICK
+	$(GO) run ./cmd/benchtab -problem /tmp/BENCH_problem.quick.json -seed 42 -quick
+else
+	$(GO) run ./cmd/benchtab -problem BENCH_problem.json -seed 42
+endif
+
 # Coverage-guided fuzz of the online updater's byte-decoded delta
 # traces: no panics, contract-only rejections, retrain equivalence.
 fuzz-online:
 	$(GO) test -run FuzzOnlineTrace -fuzz FuzzOnlineTrace -fuzztime 30s ./internal/online
+
+# Coverage-guided fuzz of problem deserialization: arbitrary bytes
+# through Read must reject cleanly or yield a solvable problem that
+# survives a second round trip bit-for-bit.
+fuzz-problem:
+	$(GO) test -run FuzzProblemRoundTrip -fuzz FuzzProblemRoundTrip -fuzztime 30s ./internal/problem
 
 # Heavier serving-layer adversarial pass: the hot-swap storm and HTTP
 # soak tests with boosted iteration counts, under the race detector.
@@ -117,7 +137,7 @@ serve-stress:
 
 verify: build vet test race conformance conformance-mutate
 
-verify-full: verify bench-domkernel bench-maxflow bench-classify bench-serve bench-online
+verify-full: verify bench-domkernel bench-maxflow bench-classify bench-serve bench-online bench-problem
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@
 //	benchtab -maxflow FILE
 //	benchtab -classify FILE
 //	benchtab -online FILE
+//	benchtab -problem FILE
 //	benchtab -conformance [-trials N] [-long] [-repro-dir DIR]
 //
 // The full run takes a few minutes; -quick shrinks workloads to
@@ -24,6 +25,10 @@
 // -online times the incremental learner's amortized per-delta cost —
 // exact (rebuild every delta) and lazy (rebuild every 64) — against
 // full retrains over the same insert/delete trace (see runOnlineBench).
+// -problem sweeps the prepared-problem lifecycle — prepare, first
+// solve, warm re-solve, peak memory — across n up to 10⁶ and the
+// three matrix modes, including the dense-guard refusal past the
+// n²/64 wall (see runProblemBench).
 // -conformance runs the
 // differential/metamorphic
 // engine (internal/conformance) and exits non-zero on any divergence,
@@ -49,6 +54,7 @@ func main() {
 	maxflowOut := flag.String("maxflow", "", "write max-flow solver benchmark JSON to this file and exit")
 	classifyOut := flag.String("classify", "", "write classifier index benchmark JSON to this file and exit")
 	onlineOut := flag.String("online", "", "write online incremental-vs-retrain benchmark JSON to this file and exit")
+	problemOut := flag.String("problem", "", "write prepared-problem lifecycle benchmark JSON to this file and exit")
 	conf := flag.Bool("conformance", false, "run the differential/metamorphic conformance engine and exit")
 	trials := flag.Int("trials", 200, "conformance trials (with -conformance)")
 	long := flag.Bool("long", false, "conformance soak mode: larger instance schedule (with -conformance)")
@@ -89,6 +95,14 @@ func main() {
 
 	if *onlineOut != "" {
 		if err := runOnlineBench(*onlineOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *problemOut != "" {
+		if err := runProblemBench(*problemOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

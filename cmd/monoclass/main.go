@@ -23,6 +23,11 @@
 //	    Report dataset health: label balance, monotone violations,
 //	    contending points, k*, width, and chain profile.
 //
+//	monoclass prepare -in data.csv -out problem.json [-mode auto|dense|blocked|implicit]
+//	    Build the prepared problem artifact (dominance structure,
+//	    chain decomposition, flow network) once and save it; passive
+//	    and audit accept it via -problem, skipping the rebuild.
+//
 //	monoclass hasse -in data.csv > out.dot
 //	    Render the dominance Hasse diagram as Graphviz DOT (small
 //	    datasets only).
@@ -68,6 +73,8 @@ func main() {
 		err = runWidth(os.Args[2:])
 	case "audit":
 		err = runAudit(os.Args[2:])
+	case "prepare":
+		err = runPrepare(os.Args[2:])
 	case "hasse":
 		err = runHasse(os.Args[2:])
 	case "tradeoff":
@@ -85,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: monoclass <passive|active|eval|width|audit|hasse|tradeoff|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: monoclass <passive|active|eval|width|audit|prepare|hasse|tradeoff|serve> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'monoclass <subcommand> -h' for flags")
 }
 
@@ -98,27 +105,95 @@ func loadCSV(path string) (monoclass.WeightedSet, error) {
 	return monoclass.ReadCSV(f)
 }
 
+// prepareArg resolves the -in/-problem/-mode flag trio every
+// structure-consuming subcommand shares: load a serialized prepared
+// problem when -problem is given, otherwise prepare the CSV once. The
+// single Problem then feeds training and auditing without a second
+// dominance build.
+func prepareArg(in, problemPath, mode string) (*monoclass.Problem, error) {
+	if problemPath != "" {
+		if in != "" {
+			return nil, fmt.Errorf("-in and -problem are mutually exclusive")
+		}
+		f, err := os.Open(problemPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return monoclass.LoadProblem(f)
+	}
+	if in == "" {
+		return nil, fmt.Errorf("-in or -problem is required")
+	}
+	m, err := monoclass.ParseMatrixMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := loadCSV(in)
+	if err != nil {
+		return nil, err
+	}
+	return monoclass.PrepareProblem(ws, monoclass.ProblemOptions{Mode: m})
+}
+
 func runPassive(args []string) error {
 	fs := flag.NewFlagSet("passive", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV (x1..xd,label,weight)")
+	problemPath := fs.String("problem", "", "prepared problem JSON written by 'prepare' (alternative to -in)")
+	mode := fs.String("mode", "auto", "matrix mode: auto, dense, blocked, implicit")
+	doAudit := fs.Bool("audit", false, "also print the dataset audit, from the same prepared structure")
 	save := fs.String("save", "", "write the trained model as JSON to this path")
 	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("-in is required")
-	}
-	ws, err := loadCSV(*in)
+	p, err := prepareArg(*in, *problemPath, *mode)
 	if err != nil {
 		return err
 	}
-	sol, err := monoclass.OptimalPassive(ws)
+	sol, err := monoclass.TrainPrepared(p)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("points:                %d\n", len(ws))
+	fmt.Printf("points:                %d\n", p.N())
 	fmt.Printf("contending points:     %d\n", sol.Stats.Contending)
 	fmt.Printf("optimal weighted error: %g\n", sol.WErr)
 	printAnchors(sol.Classifier)
+	if *doAudit {
+		report, err := monoclass.AuditPrepared(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	}
 	return saveModel(*save, sol.Classifier)
+}
+
+func runPrepare(args []string) error {
+	fs := flag.NewFlagSet("prepare", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV (x1..xd,label,weight)")
+	out := fs.String("out", "", "write the prepared problem JSON to this path")
+	mode := fs.String("mode", "auto", "matrix mode: auto, dense, blocked, implicit")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	start := time.Now()
+	p, err := prepareArg(*in, "", *mode)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := monoclass.SaveProblem(f, p); err != nil {
+		return err
+	}
+	fmt.Printf("points:      %d (dim %d)\n", p.N(), p.Dim())
+	fmt.Printf("matrix mode: %s\n", p.Mode())
+	fmt.Printf("width:       %d (exact: %v)\n", p.Width(), p.ExactWidth())
+	fmt.Printf("prepare:     %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("problem saved to %s\n", *out)
+	return nil
 }
 
 // saveModel writes the model to path, or does nothing for "".
@@ -272,15 +347,14 @@ func printAnchors(h *monoclass.AnchorSet) {
 func runAudit(args []string) error {
 	fs := flag.NewFlagSet("audit", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV")
+	problemPath := fs.String("problem", "", "prepared problem JSON written by 'prepare' (alternative to -in)")
+	mode := fs.String("mode", "auto", "matrix mode: auto, dense, blocked, implicit")
 	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("-in is required")
-	}
-	ws, err := loadCSV(*in)
+	p, err := prepareArg(*in, *problemPath, *mode)
 	if err != nil {
 		return err
 	}
-	report, err := monoclass.AuditDataset(ws)
+	report, err := monoclass.AuditPrepared(p)
 	if err != nil {
 		return err
 	}

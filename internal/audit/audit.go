@@ -10,10 +10,8 @@ import (
 	"math"
 	"strings"
 
-	"monoclass/internal/chains"
-	"monoclass/internal/domgraph"
 	"monoclass/internal/geom"
-	"monoclass/internal/passive"
+	"monoclass/internal/problem"
 )
 
 // Report is the result of auditing one dataset.
@@ -54,18 +52,31 @@ type Report struct {
 	Contending int
 }
 
-// Audit computes a full report. Cost: one chain decomposition, one
-// O(n·w·log n) contending scan, one passive solve.
+// Audit computes a full report, preparing a throwaway Problem
+// internally (auto matrix mode). Callers who already hold a prepared
+// Problem — or will train on the same points next — use AuditProblem
+// and pay the dominance build once.
 func Audit(ws geom.WeightedSet) (Report, error) {
 	if len(ws) == 0 {
 		return Report{}, fmt.Errorf("audit: empty dataset")
 	}
-	if err := ws.Validate(); err != nil {
+	p, err := problem.Prepare(ws, problem.Options{})
+	if err != nil {
 		return Report{}, err
 	}
+	return AuditProblem(p)
+}
+
+// AuditProblem computes the report from a prepared Problem: the
+// violation count, decomposition profile, and optimum all come out of
+// the shared artifact, so nothing is re-derived from raw points. On a
+// Problem with an inexact (greedy) decomposition, Width is that
+// cover's chain count — an upper bound on the dominance width.
+func AuditProblem(p *problem.Problem) (Report, error) {
+	ws := p.WeightedSet()
 	r := Report{
-		N:         len(ws),
-		Dim:       ws.Dim(),
+		N:         p.N(),
+		Dim:       p.Dim(),
 		WeightMin: math.Inf(1),
 		WeightMax: math.Inf(-1),
 	}
@@ -106,27 +117,11 @@ func Audit(ws geom.WeightedSet) (Report, error) {
 		}
 	}
 
-	// Violations and structure, via the shared bit-packed dominance
-	// kernel: one parallel matrix build serves the popcount violation
-	// count and (for d >= 3) the chain decomposition; dimensions 1 and
-	// 2 keep their O(n log n) decomposition fast paths.
-	pts := make([]geom.Point, len(ws))
-	labels := make([]geom.Label, len(ws))
-	for i, wp := range ws {
-		pts[i] = wp.P
-		labels[i] = wp.Label
-	}
-	m := domgraph.Build(pts)
-	r.ViolationPairs = m.CountViolations(labels)
+	r.ViolationPairs = p.Violations()
 
-	var dec chains.Decomposition
-	if ws.Dim() >= 3 {
-		dec = chains.DecomposeMatrix(pts, m)
-	} else {
-		dec = chains.Decompose(pts)
-	}
+	dec := p.Decomposition()
 	r.Width = dec.Width
-	r.ChainLenMin, r.ChainLenMax = len(ws), 0
+	r.ChainLenMin, r.ChainLenMax = p.N(), 0
 	for _, c := range dec.Chains {
 		if len(c) < r.ChainLenMin {
 			r.ChainLenMin = len(c)
@@ -136,9 +131,8 @@ func Audit(ws geom.WeightedSet) (Report, error) {
 		}
 	}
 
-	// Optimum and contending count via the Theorem 4 solver (reusing
-	// the decomposition).
-	sol, err := passive.Solve(ws, passive.Options{Chains: dec.Chains})
+	// Optimum and contending count via the prepared Theorem 4 network.
+	sol, err := p.Solve()
 	if err != nil {
 		return Report{}, err
 	}

@@ -44,6 +44,7 @@ func Checks() []Check {
 		{"active-exhaustive-exact", CheckActiveExhaustive},
 		{"online-incremental-vs-retrain", CheckOnlineIncremental},
 		{"online-drift-bound", CheckOnlineDriftBound},
+		{"problem-prepared-vs-legacy", CheckProblemPrepared},
 		{"meta-monotone-transform", CheckMetaMonotoneTransform},
 		{"meta-duality", CheckMetaDuality},
 		{"meta-duplication", CheckMetaDuplication},

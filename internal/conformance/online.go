@@ -7,7 +7,7 @@ import (
 
 	"monoclass/internal/geom"
 	"monoclass/internal/online"
-	"monoclass/internal/passive"
+	"monoclass/internal/problem"
 )
 
 // Online-learning conformance: the incremental updater replayed over a
@@ -77,13 +77,19 @@ func hasNonFinite(in Instance) bool {
 	return false
 }
 
-// retrainWErr solves the live multiset from scratch. ok is false when
+// retrainWErr solves the live multiset from scratch through a shared
+// prepared Problem — the same artifact the updater adopts internally,
+// so the differential covers the problem layer too. ok is false when
 // the multiset is empty (nothing to compare against).
 func retrainWErr(live []geom.WeightedPoint) (float64, bool, error) {
 	if len(live) == 0 {
 		return 0, false, nil
 	}
-	sol, err := passive.Solve(geom.WeightedSet(live), passive.Options{})
+	p, err := problem.Prepare(geom.WeightedSet(live), problem.Options{})
+	if err != nil {
+		return 0, false, fmt.Errorf("retrain: %w", err)
+	}
+	sol, err := p.Solve()
 	if err != nil {
 		return 0, false, fmt.Errorf("retrain: %w", err)
 	}

@@ -72,6 +72,42 @@ func NewDynamic(dim int, pts []geom.Point) (*Dynamic, error) {
 	return d, nil
 }
 
+// NewDynamicFromMatrix builds a dynamic matrix over pts adopting an
+// already-built relation m (deep-copied), skipping the O(d·n²/64)
+// kernel build. m must be Build(pts) — the same points in the same
+// order; only the shape is validated here, the bits are trusted.
+// problem-prepared training uses this to hand its matrix to the online
+// updater without a rebuild.
+func NewDynamicFromMatrix(dim int, pts []geom.Point, m *Matrix) (*Dynamic, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("domgraph: dimension %d must be positive", dim)
+	}
+	if m.N() != len(pts) {
+		return nil, fmt.Errorf("domgraph: matrix covers %d points, want %d", m.N(), len(pts))
+	}
+	for i, p := range pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("domgraph: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	d := &Dynamic{dim: dim}
+	if len(pts) == 0 {
+		return d, nil
+	}
+	d.pts = make([]geom.Point, len(pts))
+	for i, p := range pts {
+		d.pts[i] = p.Clone()
+	}
+	d.alive = make([]bool, len(pts))
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+	d.words = m.words
+	d.dom = append([]uint64(nil), m.dom...)
+	d.dag = append([]uint64(nil), m.dag...)
+	return d, nil
+}
+
 // Dim returns the dimensionality of the point set.
 func (d *Dynamic) Dim() int { return d.dim }
 

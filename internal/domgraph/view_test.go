@@ -1,0 +1,210 @@
+package domgraph
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"monoclass/internal/geom"
+)
+
+// randomViewPoints draws a point set with deliberate ties (small
+// coordinate alphabet) and, optionally, ±Inf coordinates and exact
+// duplicate points.
+func randomViewPoints(rng *rand.Rand, n, d int, withInf bool) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for k := range p {
+			p[k] = float64(rng.Intn(7))
+			if withInf && rng.Intn(11) == 0 {
+				p[k] = math.Inf(1 - 2*rng.Intn(2))
+			}
+		}
+		pts[i] = p
+	}
+	// Exact duplicates: copy earlier points over later slots.
+	for i := range pts {
+		if i > 0 && rng.Intn(5) == 0 {
+			pts[i] = pts[rng.Intn(i)].Clone()
+		}
+	}
+	return pts
+}
+
+// checkViewAgainstNaive holds one View to exact agreement with the
+// BuildNaive oracle: per-pair queries, row reads, and Materialize.
+func checkViewAgainstNaive(t *testing.T, tag string, v View, pts []geom.Point) {
+	t.Helper()
+	naive := BuildNaive(pts)
+	n := len(pts)
+	if v.N() != n || v.Words() != naive.Words() {
+		t.Fatalf("%s: N/Words = %d/%d, want %d/%d", tag, v.N(), v.Words(), n, naive.Words())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got, want := v.Dominates(i, j), naive.Dominates(i, j); got != want {
+				t.Fatalf("%s: Dominates(%d,%d) = %v, want %v (pts %v vs %v)", tag, i, j, got, want, pts[i], pts[j])
+			}
+			if got, want := v.Edge(i, j), naive.Edge(i, j); got != want {
+				t.Fatalf("%s: Edge(%d,%d) = %v, want %v (pts %v vs %v)", tag, i, j, got, want, pts[i], pts[j])
+			}
+		}
+	}
+	row := make([]uint64, v.Words())
+	for i := 0; i < n; i++ {
+		v.ReadDomRow(row, i)
+		for w, want := range naive.DomRow(i) {
+			if row[w] != want {
+				t.Fatalf("%s: dom row %d word %d = %#x, want %#x", tag, i, w, row[w], want)
+			}
+		}
+		v.ReadDAGRow(row, i)
+		for w, want := range naive.DAGRow(i) {
+			if row[w] != want {
+				t.Fatalf("%s: dag row %d word %d = %#x, want %#x", tag, i, w, row[w], want)
+			}
+		}
+	}
+	if diff := Diff(v.Materialize(), naive); diff != "" {
+		t.Fatalf("%s: Materialize diverges from BuildNaive: %s", tag, diff)
+	}
+}
+
+func TestViewsMatchNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(130)
+		d := 1 + rng.Intn(4)
+		pts := randomViewPoints(rng, n, d, trial%2 == 0)
+		checkViewAgainstNaive(t, "implicit", NewImplicit(pts), pts)
+		// Tiny tiles + a two-tile cache force fills and LRU evictions.
+		checkViewAgainstNaive(t, "blocked",
+			NewBlocked(pts, BlockedConfig{TileRows: 8, CacheBytes: 1}), pts)
+		checkViewAgainstNaive(t, "dense", BuildNaive(pts), pts)
+	}
+}
+
+func TestViewsMatchNaiveAdversarial(t *testing.T) {
+	nan, pinf, ninf := math.NaN(), math.Inf(1), math.Inf(-1)
+	cases := [][]geom.Point{
+		// NaN everywhere it can hide: alone, with duplicates, mixed.
+		{{nan, 1}, {1, 1}, {1, nan}, {nan, nan}, {1, 1}},
+		{{nan}, {nan}, {0}},
+		// ±Inf corners and duplicates.
+		{{pinf, ninf}, {ninf, pinf}, {pinf, pinf}, {ninf, ninf}, {pinf, pinf}, {0, 0}},
+		{{pinf}, {pinf}, {ninf}, {ninf}, {0}},
+		// All-duplicate set: pure tiebreak territory.
+		{{2, 3}, {2, 3}, {2, 3}, {2, 3}},
+		// Zero-dimensional points: everything dominates everything.
+		{{}, {}, {}},
+		// Mixed NaN + Inf + duplicates.
+		{{nan, pinf}, {pinf, nan}, {pinf, pinf}, {pinf, pinf}, {ninf, ninf}, {nan, nan}},
+	}
+	for ci, pts := range cases {
+		tagI := "implicit case " + string(rune('A'+ci))
+		checkViewAgainstNaive(t, tagI, NewImplicit(pts), pts)
+		tagB := "blocked case " + string(rune('A'+ci))
+		checkViewAgainstNaive(t, tagB,
+			NewBlocked(pts, BlockedConfig{TileRows: 2, CacheBytes: 1}), pts)
+	}
+}
+
+func TestViewCountViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(100)
+		pts := randomViewPoints(rng, n, 1+rng.Intn(3), false)
+		labels := make([]geom.Label, n)
+		for i := range labels {
+			labels[i] = geom.Label(rng.Intn(2))
+		}
+		want := BuildNaive(pts).CountViolations(labels)
+		for _, v := range []View{NewImplicit(pts), NewBlocked(pts, BlockedConfig{TileRows: 16}), Build(pts)} {
+			if got := ViewCountViolations(v, labels); got != want {
+				t.Fatalf("trial %d: ViewCountViolations = %d, want %d", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestMatrixFromWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pts := randomViewPoints(rng, 70, 3, true)
+	m := Build(pts)
+	got, err := MatrixFromWords(m.N(), m.dom, m.dag)
+	if err != nil {
+		t.Fatalf("MatrixFromWords: %v", err)
+	}
+	if diff := Diff(got, m); diff != "" {
+		t.Fatalf("round trip diverges: %s", diff)
+	}
+	// Corruptions must be rejected structurally.
+	bad := append([]uint64(nil), m.dom...)
+	bad[0] &^= 1 // clear the (0,0) reflexive bit
+	if _, err := MatrixFromWords(m.N(), bad, m.dag); err == nil {
+		t.Fatal("MatrixFromWords accepted a non-reflexive closure")
+	}
+	if _, err := MatrixFromWords(m.N(), m.dom[:len(m.dom)-1], m.dag); err == nil {
+		t.Fatal("MatrixFromWords accepted short rows")
+	}
+	badDag := append([]uint64(nil), m.dag...)
+	badDag[0] |= 1 // dag self-loop at 0
+	if _, err := MatrixFromWords(m.N(), m.dom, badDag); err == nil {
+		t.Fatal("MatrixFromWords accepted a dag self-loop")
+	}
+}
+
+// TestBlockedMemoryGuard is the n=256k peak-memory regression guard:
+// blocked row reads must stay orders of magnitude under the dense
+// n²/64 footprint while answering the same bits.
+func TestBlockedMemoryGuard(t *testing.T) {
+	const n = 262144
+	rng := rand.New(rand.NewSource(17))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64(), rng.Float64()}
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	b := NewBlocked(pts, BlockedConfig{})
+	row := make([]uint64, b.Words())
+	// Touch rows across more tiles than the cache holds, so fills and
+	// evictions both happen, then spot-check bits scalarly.
+	stride := n / 24
+	for i := 0; i < n; i += stride {
+		b.ReadDomRow(row, i)
+		for s := 0; s < 64; s++ {
+			j := (i*31 + s*4099) % n
+			got := row[j>>6]>>(uint(j)&63)&1 == 1
+			want := i == j || geom.Dominates(pts[i], pts[j])
+			if got != want {
+				t.Fatalf("row %d bit %d = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	hits, misses, resident := b.CacheStats()
+	if misses == 0 || resident == 0 {
+		t.Fatalf("tile cache untouched: hits=%d misses=%d resident=%d", hits, misses, resident)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	var grew uint64
+	if after.HeapAlloc > before.HeapAlloc {
+		grew = after.HeapAlloc - before.HeapAlloc
+	}
+	denseBytes := uint64(n) * uint64((n+63)/64) * 8 * 2 // dom+dag
+	const guard = 512 << 20
+	if grew >= guard {
+		t.Fatalf("blocked mode retained %d bytes, want < %d (dense footprint would be %d)", grew, guard, denseBytes)
+	}
+	if denseBytes < 8*guard {
+		t.Fatalf("guard not meaningful: dense footprint %d vs guard %d", denseBytes, guard)
+	}
+}

@@ -35,7 +35,7 @@ import (
 	"monoclass/internal/domgraph"
 	"monoclass/internal/geom"
 	"monoclass/internal/maxflow"
-	"monoclass/internal/passive"
+	"monoclass/internal/problem"
 )
 
 // Op is a delta kind.
@@ -133,7 +133,8 @@ type Updater struct {
 	// total weight of live slots with assign[i] != labels[i].
 	assign []geom.Label
 
-	ws    *maxflow.Workspace // persistent warm-start scratch for exact solves
+	ws   *maxflow.Workspace // persistent warm-start scratch for exact solves
+	prob *problem.Problem   // prepared at the last exact solve; see Problem
 	model *classifier.AnchorSet
 	werr  float64
 	drift float64 // Σ delta weights since last exact solve
@@ -150,6 +151,19 @@ type Updater struct {
 // be empty) and runs one exact solve without publishing — the caller
 // seeds the registry with the returned Model itself.
 func NewUpdater(dim int, initial geom.WeightedSet, cfg Config) (*Updater, error) {
+	return newUpdater(dim, initial, nil, cfg)
+}
+
+// NewUpdaterFromProblem builds an updater seeded from a prepared
+// Problem over the initial multiset: when the Problem holds a dense
+// matrix its bits are adopted directly, so warm-starting an online
+// pipeline from a trained-and-audited Problem skips the O(dn²)
+// relation rebuild entirely.
+func NewUpdaterFromProblem(p *problem.Problem, cfg Config) (*Updater, error) {
+	return newUpdater(p.Dim(), p.WeightedSet(), p, cfg)
+}
+
+func newUpdater(dim int, initial geom.WeightedSet, seed *problem.Problem, cfg Config) (*Updater, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("online: dimension %d must be positive", dim)
 	}
@@ -170,7 +184,15 @@ func NewUpdater(dim int, initial geom.WeightedSet, cfg Config) (*Updater, error)
 		}
 		pts[i] = wp.P
 	}
-	dyn, err := domgraph.NewDynamic(dim, pts)
+	var dyn *domgraph.Dynamic
+	var err error
+	if seed != nil && seed.Matrix() != nil && seed.N() == len(initial) {
+		// A dense prepared Problem over the same points already paid
+		// for the relation — adopt its bits instead of rebuilding.
+		dyn, err = domgraph.NewDynamicFromMatrix(dim, pts, seed.Matrix())
+	} else {
+		dyn, err = domgraph.NewDynamic(dim, pts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -381,13 +403,13 @@ func (u *Updater) Resolve() error {
 	return u.resolveLocked(true)
 }
 
-// resolveLocked compacts the dynamic matrix, re-solves the passive
-// instance over the live multiset with the patched matrix and the
-// persistent workspace, and installs the exact model. The solve hands
-// passive.Solve the matrix view directly — the same bits a fresh
-// domgraph.Build over the live points would produce — so a retrain
-// with Options{Matrix: Build(live)} constructs a bit-identical
-// network and must return the identical assignment.
+// resolveLocked compacts the dynamic matrix, adopts the live multiset
+// and its patched matrix into a problem.Problem, and re-solves that
+// with the persistent workspace before installing the exact model.
+// The adopted matrix view carries the same bits a fresh domgraph.Build
+// over the live points would produce, so a retrain with
+// Options{Matrix: Build(live)} constructs a bit-identical network and
+// must return the identical assignment.
 func (u *Updater) resolveLocked(publish bool) error {
 	if u.dyn.Dead() > 0 {
 		u.stats.compactions++
@@ -406,6 +428,7 @@ func (u *Updater) resolveLocked(publish bool) error {
 		// Empty multiset: every model has werr 0; keep serving the
 		// current one rather than yanking it to a constant.
 		u.assign = u.assign[:0]
+		u.prob = nil
 		u.werr, u.drift, u.since = 0, 0, 0
 		u.stats.exactSolves++
 		return nil
@@ -414,14 +437,19 @@ func (u *Updater) resolveLocked(publish bool) error {
 	for i := 0; i < n; i++ {
 		lws[i] = geom.WeightedPoint{P: u.dyn.Point(i), Label: u.labels[i], Weight: u.weights[i]}
 	}
-	sol, err := passive.Solve(lws, passive.Options{
-		Matrix: u.dyn.MatrixView(),
+	prob, err := problem.Adopt(lws, u.dyn.MatrixView())
+	if err != nil {
+		u.stats.applyErrors++
+		return fmt.Errorf("online: exact re-solve: %w", err)
+	}
+	sol, err := prob.SolveWith(problem.SolveOptions{
 		Solver: func(g *maxflow.Network) maxflow.Result { return maxflow.SolveWith(u.ws, g) },
 	})
 	if err != nil {
 		u.stats.applyErrors++
 		return fmt.Errorf("online: exact re-solve: %w", err)
 	}
+	u.prob = prob
 	u.model = sol.Classifier
 	u.assign = sol.Assignment
 	u.werr = sol.WErr
@@ -444,6 +472,17 @@ func (u *Updater) publishLocked() {
 
 // Dim returns the dimensionality of the point space.
 func (u *Updater) Dim() int { return u.dim }
+
+// Problem returns the prepared Problem adopted at the last exact
+// solve, or nil before the first non-empty solve. It shares storage
+// with the updater's live matrix, so it is a snapshot valid only until
+// the next applied delta — use it immediately (serving gates do) and
+// do not retain it across mutations.
+func (u *Updater) Problem() *problem.Problem {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.prob
+}
 
 // Model returns the current model (exact or interim). The returned
 // AnchorSet is immutable.

@@ -11,6 +11,7 @@ import (
 	"monoclass/internal/geom"
 	"monoclass/internal/maxflow"
 	"monoclass/internal/passive"
+	"monoclass/internal/problem"
 )
 
 func almostEq(a, b float64) bool {
@@ -54,7 +55,7 @@ func traceStep(t *testing.T, rng *rand.Rand, u *Updater, mirror geom.WeightedSet
 }
 
 // retrain solves the mirror multiset from scratch on the same
-// matrix-supplied kernel route the updater uses, with a cold
+// matrix-adopting problem route the updater uses, with a cold
 // workspace — the differential baseline.
 func retrain(t *testing.T, mirror geom.WeightedSet) passive.Solution {
 	t.Helper()
@@ -63,8 +64,11 @@ func retrain(t *testing.T, mirror geom.WeightedSet) passive.Solution {
 		pts[i] = mirror[i].P
 	}
 	cold := maxflow.NewWorkspace()
-	sol, err := passive.Solve(mirror, passive.Options{
-		Matrix: domgraph.Build(pts),
+	p, err := problem.Adopt(mirror, domgraph.Build(pts))
+	if err != nil {
+		t.Fatalf("retrain: %v", err)
+	}
+	sol, err := p.SolveWith(problem.SolveOptions{
 		Solver: func(g *maxflow.Network) maxflow.Result { return maxflow.SolveWith(cold, g) },
 	})
 	if err != nil {

@@ -54,12 +54,18 @@ type Options struct {
 	Chains [][]int
 	// Matrix optionally supplies the precomputed dominance matrix of
 	// the input points (domgraph.Build over ws's points, in input
-	// order), skipping the O(dn²) relation build — the incremental
-	// updater (internal/online) maintains one under deltas and hands
-	// it in here. When set it drives the kernel path at every
-	// dimension, so two Solve calls over the same multiset with the
-	// same Matrix construct bit-identical networks. Ignored when Dense
-	// is set; Matrix.N() must equal len(ws).
+	// order), skipping the O(dn²) relation build. When set it drives
+	// the kernel path at every dimension, so two Solve calls over the
+	// same multiset with the same Matrix construct bit-identical
+	// networks. When Chains is also set, the supplied decomposition is
+	// adopted instead of re-deriving one from the matrix. Ignored when
+	// Dense is set; Matrix.N() must equal len(ws).
+	//
+	// Deprecated: build a problem.Problem (internal/problem) with
+	// problem.Prepare or problem.Adopt instead — it owns the matrix
+	// lifecycle, the chain decomposition, and the prepared network,
+	// and re-solves without re-deriving any of them. This field stays
+	// for compatibility and is what problem.Adopt routes through.
 	Matrix *domgraph.Matrix
 }
 
@@ -138,8 +144,9 @@ func buildGraph(ws geom.WeightedSet, opts Options) (builtGraph, error) {
 		}
 	case opts.Matrix != nil:
 		// Caller-supplied relation: same kernel path as below, minus
-		// the Build. Used by the online updater, whose dynamically
-		// patched matrix equals Build over the live points.
+		// the Build. Used by problem.Adopt (and historically by the
+		// online updater directly), whose dynamically patched matrix
+		// equals Build over the live points.
 		if opts.Matrix.N() != n {
 			return builtGraph{}, fmt.Errorf("passive: supplied matrix covers %d points, want %d", opts.Matrix.N(), n)
 		}
@@ -150,7 +157,17 @@ func buildGraph(ws geom.WeightedSet, opts Options) (builtGraph, error) {
 			labels[i] = ws[i].Label
 		}
 		km = opts.Matrix
-		kdec = chains.DecomposeMatrix(pts, km)
+		if opts.Chains != nil {
+			// Adopt the caller's decomposition (problem.Prepare hands
+			// back the one it derived from this very matrix) instead of
+			// repeating the O(n^2.5) matching.
+			if err := chains.ValidateDecomposition(pts, opts.Chains); err != nil {
+				panic(fmt.Sprintf("passive: supplied decomposition invalid: %v", err))
+			}
+			kdec = chains.Decomposition{Chains: opts.Chains, Width: len(opts.Chains)}
+		} else {
+			kdec = chains.DecomposeMatrix(pts, km)
+		}
 		contending = km.ViolationParties(labels)
 	case opts.Chains == nil && ws.Dim() >= 3:
 		// Kernel path: the generic decomposition needs the O(dn²)
@@ -249,66 +266,16 @@ func BuildNetwork(ws geom.WeightedSet, opts Options) (*maxflow.Network, error) {
 
 // Solve computes an optimal monotone classifier for the fully-labeled
 // weighted set ws. The input must be non-empty, dimensionally
-// consistent, and carry positive finite weights.
+// consistent, and carry positive finite weights. Solve is exactly
+// Prepare followed by one Resolve; callers that re-solve the same
+// instance keep the Prepared (or a problem.Problem wrapping one) and
+// skip the network reconstruction.
 func Solve(ws geom.WeightedSet, opts Options) (Solution, error) {
-	bg, err := buildGraph(ws, opts)
+	pp, err := Prepare(ws, opts)
 	if err != nil {
 		return Solution{}, err
 	}
-	solver := opts.Solver
-	solverName := "custom"
-	if solver == nil {
-		solver = maxflow.PushRelabelHLPooled
-		solverName = "pushrelabelhl-pooled"
-	}
-
-	n := len(ws)
-	// Assignment starts as the points' own labels; only contending
-	// points can change (Lemma 15).
-	assign := make([]geom.Label, n)
-	for i := range ws {
-		assign[i] = ws[i].Label
-	}
-
-	var flowValue float64
-	graphEdges := 0
-	if bg.g != nil {
-		graphEdges = bg.g.NumEdges()
-		res := solver(bg.g)
-		flowValue = res.Value
-		for _, cut := range res.CutEdges() {
-			if cut.ID >= len(bg.owner) {
-				// CutEdges already panics on ∞ edges; reaching here
-				// would mean a finite type-3 edge, which cannot exist.
-				return Solution{}, fmt.Errorf("passive: cut contains unexpected edge %d", cut.ID)
-			}
-			// Cutting a point's own edge flips its assignment.
-			assign[bg.owner[cut.ID]] ^= 1
-		}
-	}
-
-	pts := make([]geom.Point, n)
-	for i := range ws {
-		pts[i] = ws[i].P
-	}
-	h, err := classifier.FromAssignment(pts, assign)
-	if err != nil {
-		// Lemma 16 guarantees the cut assignment is monotone; failure
-		// indicates a solver bug and must surface loudly.
-		return Solution{}, fmt.Errorf("passive: cut assignment not monotone: %w", err)
-	}
-	return Solution{
-		Classifier: h,
-		WErr:       flowValue,
-		Assignment: assign,
-		Stats: Stats{
-			N:          n,
-			Contending: bg.numContending,
-			GraphEdges: graphEdges,
-			FlowValue:  flowValue,
-			Solver:     solverName,
-		},
-	}, nil
+	return pp.Resolve(opts.Solver)
 }
 
 // OptimalError returns just the optimal weighted error k* of ws,

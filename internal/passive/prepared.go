@@ -1,0 +1,118 @@
+package passive
+
+import (
+	"fmt"
+
+	"monoclass/internal/classifier"
+	"monoclass/internal/geom"
+	"monoclass/internal/maxflow"
+)
+
+// Prepared is one passive instance with its Section 5.1 flow network
+// already constructed: the expensive half of Solve (validation,
+// contending scan, chain decomposition, CSR network build) done once,
+// so each Resolve call pays only a flow computation plus the cut
+// decode. The prepared-problem artifact (internal/problem) caches one
+// of these per Problem and re-solves it warm.
+//
+// A Prepared is not safe for concurrent Resolve calls: each call
+// resets and re-saturates the one underlying network.
+type Prepared struct {
+	ws geom.WeightedSet // aliased from Prepare's caller; must not mutate
+	bg builtGraph
+}
+
+// Prepare validates ws and builds its flow network without solving,
+// honoring the same Options as Solve (the Solver field is ignored —
+// it is Resolve's argument instead).
+func Prepare(ws geom.WeightedSet, opts Options) (*Prepared, error) {
+	bg, err := buildGraph(ws, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{ws: ws, bg: bg}, nil
+}
+
+// N returns the instance size.
+func (pp *Prepared) N() int { return len(pp.ws) }
+
+// NumContending returns |P^con| — the vertex count of the network
+// minus source and sink.
+func (pp *Prepared) NumContending() int { return pp.bg.numContending }
+
+// NumEdges returns the edge count of the prepared network (0 when no
+// points contend and no network exists).
+func (pp *Prepared) NumEdges() int {
+	if pp.bg.g == nil {
+		return 0
+	}
+	return pp.bg.g.NumEdges()
+}
+
+// Contending returns a copy of the contending-point mask, in input
+// order.
+func (pp *Prepared) Contending() []bool {
+	return append([]bool(nil), pp.bg.contending...)
+}
+
+// Resolve runs one max-flow computation over the prepared network
+// (resetting residual capacities first, so repeated calls are
+// idempotent) and decodes the min cut into a Solution — bit-identical
+// to what Solve would return for the same instance and solver. A nil
+// solver uses the default workspace-pooled push-relabel engine.
+func (pp *Prepared) Resolve(solver FlowSolver) (Solution, error) {
+	solverName := "custom"
+	if solver == nil {
+		solver = maxflow.PushRelabelHLPooled
+		solverName = "pushrelabelhl-pooled"
+	}
+
+	n := len(pp.ws)
+	// Assignment starts as the points' own labels; only contending
+	// points can change (Lemma 15).
+	assign := make([]geom.Label, n)
+	for i := range pp.ws {
+		assign[i] = pp.ws[i].Label
+	}
+
+	var flowValue float64
+	graphEdges := 0
+	if pp.bg.g != nil {
+		graphEdges = pp.bg.g.NumEdges()
+		pp.bg.g.Reset()
+		res := solver(pp.bg.g)
+		flowValue = res.Value
+		for _, cut := range res.CutEdges() {
+			if cut.ID >= len(pp.bg.owner) {
+				// CutEdges already panics on ∞ edges; reaching here
+				// would mean a finite type-3 edge, which cannot exist.
+				return Solution{}, fmt.Errorf("passive: cut contains unexpected edge %d", cut.ID)
+			}
+			// Cutting a point's own edge flips its assignment.
+			assign[pp.bg.owner[cut.ID]] ^= 1
+		}
+	}
+
+	pts := make([]geom.Point, n)
+	for i := range pp.ws {
+		pts[i] = pp.ws[i].P
+	}
+	h, err := classifier.FromAssignment(pts, assign)
+	if err != nil {
+		// Lemma 16 guarantees the cut assignment is monotone; failure
+		// indicates a solver bug and must surface loudly.
+		return Solution{}, fmt.Errorf("passive: cut assignment not monotone: %w", err)
+	}
+	return Solution{
+		Classifier: h,
+		WErr:       flowValue,
+		Assignment: assign,
+		Stats: Stats{
+			N:          n,
+			Contending: pp.bg.numContending,
+			GraphEdges: graphEdges,
+			FlowValue:  flowValue,
+			Solver:     solverName,
+		},
+	}, nil
+}
