@@ -11,6 +11,8 @@
 #   make bench-serve       regenerate BENCH_serve.json (serving layer loadgen)
 #   make bench-online      regenerate BENCH_online.json (incremental vs retrain)
 #   make bench-problem     regenerate BENCH_problem.json (prepared-problem lifecycle)
+#   make profile-prepare   CPU+heap profile of the prepare-stage sweep (pprof files)
+#   make ci-smoke          one warm-started exact prepare under the race detector
 #   make fuzz-online       short fuzz pass over the online delta intake
 #   make fuzz-problem      short fuzz pass over problem deserialization
 #   make serve-stress      long hot-swap/soak stress of the serving layer
@@ -19,7 +21,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve bench-online bench-problem fuzz-online fuzz-problem serve-stress verify verify-full clean
+.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve bench-online bench-problem profile-prepare ci-smoke fuzz-online fuzz-problem serve-stress verify verify-full clean
 
 all: check
 
@@ -108,16 +110,32 @@ else
 endif
 
 # Prepared-problem lifecycle sweep: prepare / first-solve / warm
-# re-solve wall times and peak memory across n up to 10⁶ and the three
-# matrix modes, plus the dense-guard refusal (cmd/benchtab -problem).
-# Takes ~1min; add QUICK=1 for a seconds-scale smoke run that
-# overwrites nothing.
+# re-solve wall times, per-stage prepare timings (matrix / decompose /
+# network), and peak memory across n up to 10⁶ and the three matrix
+# modes — dense rows now reach n=65536 (the raised exact-decomposition
+# limit, 1 GiB matrix) — plus the dense-guard refusal (cmd/benchtab
+# -problem). Takes a few minutes; add QUICK=1 for a seconds-scale
+# smoke run that overwrites nothing.
 bench-problem:
 ifdef QUICK
 	$(GO) run ./cmd/benchtab -problem /tmp/BENCH_problem.quick.json -seed 42 -quick
 else
 	$(GO) run ./cmd/benchtab -problem BENCH_problem.json -seed 42
 endif
+
+# Profile where prepare time goes: run the lifecycle sweep (quick
+# schedule) with CPU and heap profiles enabled, then inspect with
+# `go tool pprof prepare.cpu.pprof`.
+profile-prepare:
+	$(GO) run ./cmd/benchtab -problem /tmp/BENCH_problem.profile.json -seed 42 -quick \
+		-cpuprofile prepare.cpu.pprof -memprofile prepare.mem.pprof
+	@echo "wrote prepare.cpu.pprof and prepare.mem.pprof (go tool pprof <file>)"
+
+# CI quick gate: one warm-started exact-decomposition prepare (dense,
+# d=3) under the race detector, asserting the solve matches the legacy
+# passive path.
+ci-smoke:
+	$(GO) test -race -run TestPrepareWarmStartSmoke -count=1 -v ./internal/problem
 
 # Coverage-guided fuzz of the online updater's byte-decoded delta
 # traces: no panics, contract-only rejections, retrain equivalence.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab [-quick] [-seed N] [-only E1,E4,F1]
+//	benchtab [-quick] [-seed N] [-only E1,E4,F1] [-cpuprofile FILE] [-memprofile FILE]
 //	benchtab -domkernel FILE
 //	benchtab -maxflow FILE
 //	benchtab -classify FILE
@@ -40,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -59,7 +61,39 @@ func main() {
 	trials := flag.Int("trials", 200, "conformance trials (with -conformance)")
 	long := flag.Bool("long", false, "conformance soak mode: larger instance schedule (with -conformance)")
 	reproDir := flag.String("repro-dir", "internal/conformance/testdata", "directory for shrunken divergence repros (with -conformance)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			}
+		}()
+	}
 
 	if *conf {
 		if err := runConformance(*seed, *trials, *long, *reproDir); err != nil {

@@ -34,6 +34,16 @@ type problemRow struct {
 	ResolveSpeedup float64 `json:"resolve_speedup"`
 	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
 	RetainedBytes  uint64  `json:"retained_bytes"`
+	// Per-stage prepare timings and warm-start counters, straight from
+	// problem.PrepareStats.
+	DecomposePath string `json:"decompose_path"`
+	MatrixNs      int64  `json:"matrix_ns"`
+	DecomposeNs   int64  `json:"decompose_ns"`
+	NetworkNs     int64  `json:"network_ns"`
+	SeedChains    int    `json:"seed_chains,omitempty"`
+	Augmentations int    `json:"augmentations,omitempty"`
+	Phases        int    `json:"phases,omitempty"`
+	CertEarlyExit bool   `json:"cert_early_exit,omitempty"`
 }
 
 // problemReport is the machine-readable output of -problem.
@@ -135,11 +145,12 @@ func runProblemBench(path string, seed int64, quick bool) error {
 		mode problem.MatrixMode
 	}
 	specs := []spec{
-		{4096, 3, problem.ModeAuto},     // auto → dense
-		{16384, 3, problem.ModeDense},   // dense, 67 MB matrix
-		{65536, 2, problem.ModeImplicit},// acceptance row for re-solve speedup
-		{65536, 3, problem.ModeBlocked}, // blocked past the exact-cover limit
-		{262144, 3, problem.ModeBlocked},
+		{4096, 3, problem.ModeAuto},      // auto → dense
+		{16384, 3, problem.ModeDense},    // dense, 67 MB matrix; warm-start acceptance row
+		{65536, 2, problem.ModeImplicit}, // acceptance row for re-solve speedup
+		{65536, 3, problem.ModeDense},    // dense at the raised exact limit (1 GiB matrix)
+		{65536, 3, problem.ModeBlocked},  // blocked, exact via transient materialization
+		{262144, 3, problem.ModeBlocked}, // past the exact limit: greedy fallback
 		{1 << 20, 2, problem.ModeImplicit}, // the 10⁶ row the dense wall forbids
 	}
 	if quick {
@@ -208,6 +219,7 @@ func runProblemBench(path string, seed int64, quick bool) error {
 		}
 
 		fromRaw := prepareNs + solveNs
+		pst := p.Stats()
 		row := problemRow{
 			Name:           fmt.Sprintf("Problem/n%d_d%d_%s", s.n, s.d, p.Mode()),
 			N:              s.n,
@@ -223,16 +235,27 @@ func runProblemBench(path string, seed int64, quick bool) error {
 			ResolveSpeedup: fromRaw / resolveNs,
 			PeakHeapBytes:  peak,
 			RetainedBytes:  retained,
+			DecomposePath:  pst.DecomposePath,
+			MatrixNs:       pst.MatrixNS,
+			DecomposeNs:    pst.DecomposeNS,
+			NetworkNs:      pst.NetworkNS,
+			SeedChains:     pst.SeedChains,
+			Augmentations:  pst.Augmentations,
+			Phases:         pst.Phases,
+			CertEarlyExit:  pst.CertEarlyExit,
 		}
 		report.Rows = append(report.Rows, row)
-		fmt.Printf("%-34s prepare %10s  solve %10s  re-solve %9s  (%.0fx)  peak %7.1f MB  width %d  contending %d\n",
+		fmt.Printf("%-34s prepare %10s (matrix %9s decomp %9s net %9s)  solve %10s  re-solve %9s  (%.0fx)  peak %7.1f MB  width %d  %s  aug %d\n",
 			row.Name,
 			time.Duration(prepareNs).Round(time.Microsecond),
+			time.Duration(pst.MatrixNS).Round(time.Microsecond),
+			time.Duration(pst.DecomposeNS).Round(time.Microsecond),
+			time.Duration(pst.NetworkNS).Round(time.Microsecond),
 			time.Duration(solveNs).Round(time.Microsecond),
 			time.Duration(resolveNs).Round(time.Microsecond),
 			row.ResolveSpeedup,
 			float64(peak)/(1<<20),
-			row.Width, row.Contending)
+			row.Width, row.DecomposePath, row.Augmentations)
 	}
 
 	// The dense wall itself: explicit dense mode at 10⁶ points must be

@@ -24,9 +24,13 @@
 //	    contending points, k*, width, and chain profile.
 //
 //	monoclass prepare -in data.csv -out problem.json [-mode auto|dense|blocked|implicit]
+//	                  [-exact-decompose-limit N]
 //	    Build the prepared problem artifact (dominance structure,
 //	    chain decomposition, flow network) once and save it; passive
-//	    and audit accept it via -problem, skipping the rebuild.
+//	    and audit accept it via -problem, skipping the rebuild. The
+//	    output reports the decomposition path taken (warm-started
+//	    exact vs greedy fallback) with per-stage timings, and warns
+//	    when the width is only an upper bound.
 //
 //	monoclass hasse -in data.csv > out.dot
 //	    Render the dominance Hasse diagram as Graphviz DOT (small
@@ -110,7 +114,7 @@ func loadCSV(path string) (monoclass.WeightedSet, error) {
 // problem when -problem is given, otherwise prepare the CSV once. The
 // single Problem then feeds training and auditing without a second
 // dominance build.
-func prepareArg(in, problemPath, mode string) (*monoclass.Problem, error) {
+func prepareArg(in, problemPath, mode string, exactLimit int) (*monoclass.Problem, error) {
 	if problemPath != "" {
 		if in != "" {
 			return nil, fmt.Errorf("-in and -problem are mutually exclusive")
@@ -133,7 +137,7 @@ func prepareArg(in, problemPath, mode string) (*monoclass.Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return monoclass.PrepareProblem(ws, monoclass.ProblemOptions{Mode: m})
+	return monoclass.PrepareProblem(ws, monoclass.ProblemOptions{Mode: m, ExactDecomposeLimit: exactLimit})
 }
 
 func runPassive(args []string) error {
@@ -144,7 +148,7 @@ func runPassive(args []string) error {
 	doAudit := fs.Bool("audit", false, "also print the dataset audit, from the same prepared structure")
 	save := fs.String("save", "", "write the trained model as JSON to this path")
 	fs.Parse(args)
-	p, err := prepareArg(*in, *problemPath, *mode)
+	p, err := prepareArg(*in, *problemPath, *mode, 0)
 	if err != nil {
 		return err
 	}
@@ -171,12 +175,14 @@ func runPrepare(args []string) error {
 	in := fs.String("in", "", "input CSV (x1..xd,label,weight)")
 	out := fs.String("out", "", "write the prepared problem JSON to this path")
 	mode := fs.String("mode", "auto", "matrix mode: auto, dense, blocked, implicit")
+	exactLimit := fs.Int("exact-decompose-limit", 0,
+		"largest n decomposed exactly before falling back to greedy (0: library default)")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("-out is required")
 	}
 	start := time.Now()
-	p, err := prepareArg(*in, "", *mode)
+	p, err := prepareArg(*in, "", *mode, *exactLimit)
 	if err != nil {
 		return err
 	}
@@ -188,9 +194,20 @@ func runPrepare(args []string) error {
 	if err := monoclass.SaveProblem(f, p); err != nil {
 		return err
 	}
+	st := p.Stats()
 	fmt.Printf("points:      %d (dim %d)\n", p.N(), p.Dim())
 	fmt.Printf("matrix mode: %s\n", p.Mode())
 	fmt.Printf("width:       %d (exact: %v)\n", p.Width(), p.ExactWidth())
+	fmt.Printf("decompose:   %s (seed %d chains, %d augmentations, %d phases)\n",
+		st.DecomposePath, st.SeedChains, st.Augmentations, st.Phases)
+	fmt.Printf("stages:      matrix %s, decompose %s, network %s\n",
+		time.Duration(st.MatrixNS).Round(time.Millisecond),
+		time.Duration(st.DecomposeNS).Round(time.Millisecond),
+		time.Duration(st.NetworkNS).Round(time.Millisecond))
+	if !p.ExactWidth() {
+		fmt.Printf("warning:     exact decomposition skipped; width %d is an upper bound "+
+			"(raise -exact-decompose-limit or memory guard to force exact)\n", p.Width())
+	}
 	fmt.Printf("prepare:     %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("problem saved to %s\n", *out)
 	return nil
@@ -350,7 +367,7 @@ func runAudit(args []string) error {
 	problemPath := fs.String("problem", "", "prepared problem JSON written by 'prepare' (alternative to -in)")
 	mode := fs.String("mode", "auto", "matrix mode: auto, dense, blocked, implicit")
 	fs.Parse(args)
-	p, err := prepareArg(*in, *problemPath, *mode)
+	p, err := prepareArg(*in, *problemPath, *mode, 0)
 	if err != nil {
 		return err
 	}

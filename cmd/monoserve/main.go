@@ -10,6 +10,7 @@
 //	          [-holdout data.csv -max-werr 120] [-spot-audit]
 //	          [-learn] [-train data.csv] [-rebuild-every 64]
 //	          [-max-drift W] [-learn-queue 1024] [-no-interim]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -train, the initial model is trained from the labeled CSV at
 // startup instead of loaded with -model, and (with -learn) the online
@@ -39,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"monoclass"
@@ -68,13 +71,45 @@ func run(args []string) error {
 	maxDrift := fs.Float64("max-drift", 0, "force an exact re-solve when the drift bound exceeds this weight (0: no cap)")
 	learnQueue := fs.Int("learn-queue", 1024, "bounded delta queue capacity (backpressure beyond it)")
 	noInterim := fs.Bool("no-interim", false, "disable cheap interim models between exact re-solves")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (training + serving) to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile at exit to this file")
 	fs.Parse(args)
 	if (*model == "") == (*train == "") {
 		return fmt.Errorf("exactly one of -model or -train is required")
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "monoserve: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "monoserve: %v\n", err)
+			}
+		}()
+	}
+
 	var h *monoclass.AnchorSet
 	var trainSet monoclass.WeightedSet
+	var prepStats *monoclass.PrepareStats
 	if *train != "" {
 		tf, err := os.Open(*train)
 		if err != nil {
@@ -85,12 +120,23 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		sol, err := monoclass.OptimalPassive(trainSet)
+		// Prepare once, train on the prepared instance: same solution as
+		// OptimalPassive, but the prepare provenance (warm-started exact
+		// decomposition vs greedy fallback, stage timings) is kept and
+		// served through /stats and the /model headers.
+		p, err := monoclass.PrepareProblem(trainSet, monoclass.ProblemOptions{})
 		if err != nil {
 			return err
 		}
+		sol, err := monoclass.TrainPrepared(p)
+		if err != nil {
+			return err
+		}
+		st := p.Stats()
+		prepStats = &st
 		h = sol.Classifier
-		fmt.Printf("monoserve: trained on %d points, optimal weighted error %g\n", len(trainSet), sol.WErr)
+		fmt.Printf("monoserve: trained on %d points, optimal weighted error %g (width %d, exact %v, prepare %s)\n",
+			len(trainSet), sol.WErr, st.Width, st.ExactWidth, time.Duration(st.TotalNS).Round(time.Millisecond))
 	} else {
 		f, err := os.Open(*model)
 		if err != nil {
@@ -126,6 +172,7 @@ func run(args []string) error {
 			QueueCap: *queue,
 			Workers:  *workers,
 		},
+		Prepare: prepStats,
 	}
 	if len(audits) > 0 {
 		cfg.Audit = monoclass.ChainAudits(audits...)

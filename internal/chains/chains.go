@@ -16,6 +16,7 @@ package chains
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"monoclass/internal/domgraph"
@@ -63,6 +64,30 @@ func Decompose(pts []geom.Point) Decomposition {
 	}
 }
 
+// DecomposeStats reports how a matrix decomposition reached its
+// minimum chain cover; the warm-start conformance check and the
+// prepare-stage instrumentation (problem.PrepareStats) consume it.
+type DecomposeStats struct {
+	// SeedChains is the chain count of the warm-start cover the
+	// matching was seeded from (0 on a cold start of a non-empty set
+	// means the seed left every point in its own chain).
+	SeedChains int
+	// Width is the final minimum chain count.
+	Width int
+	// Augmentations is the number of Hopcroft–Karp augmenting paths
+	// applied on top of the seed — exactly SeedChains − Width when
+	// seeded, the paper-adjacent width-bounded work claim.
+	Augmentations int
+	// Phases is the number of BFS layerings run, including the final
+	// empty one; 0 when the antichain certificate skipped matching
+	// entirely.
+	Phases int
+	// CertEarlyExit reports that a maximum antichain of size equal to
+	// the seed's chain count proved the seed optimal with zero
+	// matching phases.
+	CertEarlyExit bool
+}
+
 // DecomposeGeneric is the Lemma 6 construction for any dimension:
 // dominance DAG, minimum path cover via Hopcroft–Karp, maximum
 // antichain via König. The DAG is built as a bit-packed matrix by the
@@ -78,15 +103,154 @@ func DecomposeGeneric(pts []geom.Point) Decomposition {
 }
 
 // DecomposeMatrix is DecomposeGeneric on a prebuilt dominance matrix,
-// for callers (passive, audit) that reuse one kernel build across
-// several stages. m must have been built from pts.
+// for callers (passive, audit, problem) that reuse one kernel build
+// across several stages. m must have been built from pts.
+//
+// The matching is warm-started: a first-fit greedy chain cover is
+// built directly on the packed DAG rows (O(n²/64) word scans, no
+// scalar dominance tests) and handed to Hopcroft–Karp as the seed, so
+// only coverSize − width augmentations remain instead of O(√n) phases
+// over an empty matching. When the seed's chain bottoms or tops
+// already form an antichain of matching size, that certificate proves
+// the seed optimal and the matching is skipped outright.
 func DecomposeMatrix(pts []geom.Point, m *domgraph.Matrix) Decomposition {
+	dec, _ := DecomposeMatrixStats(pts, m)
+	return dec
+}
+
+// DecomposeMatrixStats is DecomposeMatrix plus the warm-start work
+// counters.
+func DecomposeMatrixStats(pts []geom.Point, m *domgraph.Matrix) (Decomposition, DecomposeStats) {
+	n := checkMatrix(pts, m)
+	if n == 0 {
+		return Decomposition{}, DecomposeStats{}
+	}
+	return decomposeSeeded(m, greedySeedBitset(pts, m))
+}
+
+// DecomposeMatrixSeeded is DecomposeMatrix warm-started from a
+// caller-supplied chain cover instead of the built-in greedy one. The
+// cover must partition [0, n) into valid dominance chains (ascending);
+// consecutive pairs that are not DAG edges (coordinate-equal points
+// listed against the index tiebreak) are skipped, which only weakens
+// the seed, never the result. Any valid cover converges to the same
+// minimum width.
+func DecomposeMatrixSeeded(pts []geom.Point, m *domgraph.Matrix, cover [][]int) (Decomposition, DecomposeStats) {
+	n := checkMatrix(pts, m)
+	if n == 0 {
+		return Decomposition{}, DecomposeStats{}
+	}
+	seedL := make([]int, n)
+	for i := range seedL {
+		seedL[i] = -1
+	}
+	seen := make([]bool, n)
+	covered := 0
+	for _, chain := range cover {
+		for k, idx := range chain {
+			if idx < 0 || idx >= n || seen[idx] {
+				panic(fmt.Sprintf("chains: seed cover is not a partition (index %d)", idx))
+			}
+			seen[idx] = true
+			covered++
+			if k > 0 && m.Edge(idx, chain[k-1]) {
+				seedL[idx] = chain[k-1]
+			}
+		}
+	}
+	if covered != n {
+		panic(fmt.Sprintf("chains: seed cover holds %d of %d points", covered, n))
+	}
+	return decomposeSeeded(m, seedL)
+}
+
+// DecomposeMatrixCold is the pre-warm-start construction — empty
+// initial matching, full Hopcroft–Karp phase schedule. It is the
+// oracle for the decompose-warmstart-vs-cold conformance check and
+// the baseline of the warm-start benchmarks.
+func DecomposeMatrixCold(pts []geom.Point, m *domgraph.Matrix) Decomposition {
+	n := checkMatrix(pts, m)
+	if n == 0 {
+		return Decomposition{}
+	}
+	dec, _ := decomposeSeeded(m, nil)
+	return dec
+}
+
+func checkMatrix(pts []geom.Point, m *domgraph.Matrix) int {
 	n := m.N()
 	if n != len(pts) {
 		panic(fmt.Sprintf("chains: matrix covers %d points, input has %d", n, len(pts)))
 	}
-	if n == 0 {
-		return Decomposition{}
+	return n
+}
+
+// greedySeedBitset builds a first-fit greedy chain cover directly on
+// the packed DAG rows, returned in matching form: seedL[u] = the point
+// directly below u in its chain, or -1 at a chain bottom. Points are
+// processed in ascending coordinate-sum order (the same linear
+// extension GreedyDecompose uses) and attached above the first current
+// chain top their DAG row covers — one AND per word against the
+// running top bitset, so the whole cover costs O(n²/64) word
+// operations instead of GreedyDecompose's O(d·n·w) scalar tests.
+// Validity needs no ordering assumption: every link is a real DAG
+// edge, so the matching always decodes into disjoint ascending chains.
+func greedySeedBitset(pts []geom.Point, m *domgraph.Matrix) []int {
+	n := m.N()
+	order := sumLexOrder(pts)
+	seedL := make([]int, n)
+	for i := range seedL {
+		seedL[i] = -1
+	}
+	tops := make([]uint64, (n+63)/64)
+	for _, idx := range order {
+		row := m.DAGRow(idx)
+		for w, bw := range row {
+			if cand := bw & tops[w]; cand != 0 {
+				v := w<<6 + bits.TrailingZeros64(cand)
+				seedL[idx] = v
+				tops[w] &^= 1 << uint(v&63) // v is no longer a top
+				break
+			}
+		}
+		tops[idx>>6] |= 1 << uint(idx&63) // idx tops its chain either way
+	}
+	return seedL
+}
+
+// decomposeSeeded finishes the Lemma 6 construction from a seed
+// matching (nil = cold): certificate attempt, Hopcroft–Karp, chain
+// walk, König antichain.
+func decomposeSeeded(m *domgraph.Matrix, seedL []int) (Decomposition, DecomposeStats) {
+	n := m.N()
+	var st DecomposeStats
+
+	if seedL != nil {
+		seedSize := 0
+		for _, v := range seedL {
+			if v != -1 {
+				seedSize++
+			}
+		}
+		st.SeedChains = n - seedSize
+		// Optimality certificate: the seed's c chains are minimum iff
+		// some antichain has c points (Dilworth). The chain bottoms and
+		// chain tops are the natural candidates — one point per chain,
+		// free on the left resp. right side of the matching — and each
+		// costs only an O(c·n/64) incomparability check. A hit skips
+		// Hopcroft–Karp entirely; a miss costs nothing beyond the
+		// single certifying BFS the matching would run anyway.
+		for _, anti := range [2][]int{seedBottoms(seedL), seedTops(seedL, n)} {
+			if !m.IsAntichain(anti) {
+				continue
+			}
+			st.Width = st.SeedChains
+			st.CertEarlyExit = true
+			mm := matchingFromSeed(seedL, n, seedSize)
+			chainSets := chainsFromMatching(mm, n)
+			sort.Ints(anti)
+			return Decomposition{Chains: chainSets, Width: len(chainSets), Antichain: anti}, st
+		}
 	}
 
 	// Bipartite reduction for minimum path cover: left copy u matched
@@ -94,28 +258,11 @@ func DecomposeMatrix(pts []geom.Point, m *domgraph.Matrix) Decomposition {
 	// in its chain). Cover size = n - |matching|. The kernel's DAG
 	// rows are adopted as the packed adjacency without copying.
 	b := matching.BitsetFromRows(n, n, m.DAGBits())
-	mm := matching.MaxMatchingBitset(b)
+	mm, mst := matching.MaxMatchingBitsetWarm(b, seedL)
+	st.Phases, st.Augmentations = mst.Phases, mst.Augmentations
 
-	// Walk chains from their maximal elements (right copies left
-	// unmatched: nothing sits above them).
-	chains := make([][]int, 0, n-mm.Size)
-	for v := 0; v < n; v++ {
-		if mm.MatchRight[v] != -1 {
-			continue // some point sits directly above v
-		}
-		var desc []int
-		for u := v; u != -1; u = mm.MatchLeft[u] {
-			desc = append(desc, u)
-		}
-		// desc runs top-down; chains are reported in ascending order.
-		for l, r := 0, len(desc)-1; l < r; l, r = l+1, r-1 {
-			desc[l], desc[r] = desc[r], desc[l]
-		}
-		chains = append(chains, desc)
-	}
-	if len(chains) != n-mm.Size {
-		panic(fmt.Sprintf("chains: built %d chains, expected %d", len(chains), n-mm.Size))
-	}
+	chainSets := chainsFromMatching(mm, n)
+	st.Width = len(chainSets)
 
 	// König: complement of a minimum vertex cover is a maximum
 	// independent set; a point outside the cover on both sides has no
@@ -128,14 +275,85 @@ func DecomposeMatrix(pts []geom.Point, m *domgraph.Matrix) Decomposition {
 			anti = append(anti, i)
 		}
 	}
-	if len(anti) != len(chains) {
-		panic(fmt.Sprintf("chains: antichain size %d != chain count %d", len(anti), len(chains)))
+	if len(anti) != len(chainSets) {
+		panic(fmt.Sprintf("chains: antichain size %d != chain count %d", len(anti), len(chainSets)))
 	}
 	if !m.IsAntichain(anti) {
 		panic("chains: extracted certificate is not an antichain")
 	}
 	sort.Ints(anti)
-	return Decomposition{Chains: chains, Width: len(chains), Antichain: anti}
+	return Decomposition{Chains: chainSets, Width: len(chainSets), Antichain: anti}, st
+}
+
+// seedBottoms returns the chain bottoms of a seed matching: left
+// copies with nothing below them.
+func seedBottoms(seedL []int) []int {
+	var bottoms []int
+	for u, v := range seedL {
+		if v == -1 {
+			bottoms = append(bottoms, u)
+		}
+	}
+	return bottoms
+}
+
+// seedTops returns the chain tops: right copies with nothing above
+// them.
+func seedTops(seedL []int, n int) []int {
+	below := make([]bool, n)
+	for _, v := range seedL {
+		if v != -1 {
+			below[v] = true
+		}
+	}
+	var tops []int
+	for v := 0; v < n; v++ {
+		if !below[v] {
+			tops = append(tops, v)
+		}
+	}
+	return tops
+}
+
+// matchingFromSeed materializes a full Matching from a seed the
+// certificate proved optimal, without touching Hopcroft–Karp.
+func matchingFromSeed(seedL []int, n, size int) matching.Matching {
+	matchL := make([]int, n)
+	matchR := make([]int, n)
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	copy(matchL, seedL)
+	for u, v := range seedL {
+		if v != -1 {
+			matchR[v] = u
+		}
+	}
+	return matching.Matching{MatchLeft: matchL, MatchRight: matchR, Size: size}
+}
+
+// chainsFromMatching walks chains from their maximal elements (right
+// copies left unmatched: nothing sits above them).
+func chainsFromMatching(mm matching.Matching, n int) [][]int {
+	chainSets := make([][]int, 0, n-mm.Size)
+	for v := 0; v < n; v++ {
+		if mm.MatchRight[v] != -1 {
+			continue // some point sits directly above v
+		}
+		var desc []int
+		for u := v; u != -1; u = mm.MatchLeft[u] {
+			desc = append(desc, u)
+		}
+		// desc runs top-down; chains are reported in ascending order.
+		for l, r := 0, len(desc)-1; l < r; l, r = l+1, r-1 {
+			desc[l], desc[r] = desc[r], desc[l]
+		}
+		chainSets = append(chainSets, desc)
+	}
+	if len(chainSets) != n-mm.Size {
+		panic(fmt.Sprintf("chains: built %d chains, expected %d", len(chainSets), n-mm.Size))
+	}
+	return chainSets
 }
 
 // DecomposeGenericScalar is the pre-kernel Lemma 6 construction —
@@ -261,7 +479,31 @@ func GreedyDecompose(pts []geom.Point) [][]int {
 	if n == 0 {
 		return nil
 	}
-	order := make([]int, n)
+	order := sumLexOrder(pts)
+	var chains [][]int
+	for _, idx := range order {
+		placed := false
+		for c := range chains {
+			top := chains[c][len(chains[c])-1]
+			if geom.Dominates(pts[idx], pts[top]) {
+				chains[c] = append(chains[c], idx)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			chains = append(chains, []int{idx})
+		}
+	}
+	return chains
+}
+
+// sumLexOrder returns point indices sorted into a linear extension of
+// dominance: ascending coordinate sum, ties broken lexicographically,
+// then by index. GreedyDecompose and the warm-start seed builder share
+// it so both first-fit covers process points identically.
+func sumLexOrder(pts []geom.Point) []int {
+	order := make([]int, len(pts))
 	for i := range order {
 		order[i] = i
 	}
@@ -282,22 +524,7 @@ func GreedyDecompose(pts []geom.Point) [][]int {
 		}
 		return order[a] < order[b]
 	})
-	var chains [][]int
-	for _, idx := range order {
-		placed := false
-		for c := range chains {
-			top := chains[c][len(chains[c])-1]
-			if geom.Dominates(pts[idx], pts[top]) {
-				chains[c] = append(chains[c], idx)
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			chains = append(chains, []int{idx})
-		}
-	}
-	return chains
+	return order
 }
 
 // ValidateDecomposition checks that chains is a partition of [0, n)

@@ -3,6 +3,7 @@ package chains
 import (
 	"testing"
 
+	"monoclass/internal/domgraph"
 	"monoclass/internal/geom"
 )
 
@@ -32,15 +33,26 @@ func decodePoints(data []byte) []geom.Point {
 }
 
 // FuzzDecomposeKernelVsScalar feeds arbitrary small point sets to the
-// bit-packed decomposition kernel and its scalar oracle: both must
-// produce valid minimum chain decompositions of identical width, and
-// the width must match the independent Width computation.
+// bit-packed decomposition kernel (now warm-started) and its scalar
+// oracle: both must produce valid minimum chain decompositions of
+// identical width, the warm-started width must be bit-identical to a
+// cold Hopcroft–Karp run, and the width must match the independent
+// Width computation.
 func FuzzDecomposeKernelVsScalar(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4})                   // 1-d chain
 	f.Add([]byte{1, 0, 7, 1, 6, 2, 5, 3, 4})       // 2-d antichain
 	f.Add([]byte{1, 2, 2, 2, 2, 2, 2, 1, 1, 3, 3}) // 2-d with duplicates
 	f.Add([]byte{3, 1, 1, 1, 1, 2, 2, 2, 2})       // 4-d comparable pair
 	f.Add([]byte{2})                               // empty
+	// Warm-start-path seeds: shapes that drive the seed/certificate
+	// machinery — cert fires on the pure chain and pure antichain,
+	// duplicates force index-tiebreak DAG edges in the greedy seed,
+	// and the mixed grid leaves a seed-to-optimum augmentation gap.
+	f.Add([]byte{2, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4})                   // 3-d total chain → cert early exit
+	f.Add([]byte{2, 0, 7, 0, 1, 6, 1, 2, 5, 2, 3, 4, 3})             // 3-d antichain → cert early exit
+	f.Add([]byte{2, 5, 5, 5, 5, 5, 5, 5, 5, 5, 0, 0, 0})             // 3-d duplicates → tiebreak seed edges
+	f.Add([]byte{2, 1, 0, 2, 0, 1, 2, 2, 2, 0, 1, 1, 1, 0, 2, 1})    // 3-d mixed → augmentation gap
+	f.Add([]byte{3, 3, 0, 0, 3, 0, 3, 3, 0, 3, 0, 3, 3, 1, 1, 1, 1}) // 4-d near-antichain with one chain link
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pts := decodePoints(data)
 		if pts == nil {
@@ -59,6 +71,20 @@ func FuzzDecomposeKernelVsScalar(f *testing.F) {
 		}
 		if err := ValidateDecomposition(pts, scalar.Chains); err != nil {
 			t.Fatalf("scalar decomposition invalid: %v", err)
+		}
+		if len(pts) > 0 {
+			m := domgraph.Build(pts)
+			cold := DecomposeMatrixCold(pts, m)
+			warm, st := DecomposeMatrixStats(pts, m)
+			if warm.Width != cold.Width {
+				t.Fatalf("warm width %d, cold width %d", warm.Width, cold.Width)
+			}
+			if st.Augmentations != st.SeedChains-st.Width {
+				t.Fatalf("%d augmentations for seed %d -> width %d", st.Augmentations, st.SeedChains, st.Width)
+			}
+			if err := ValidateDecomposition(pts, warm.Chains); err != nil {
+				t.Fatalf("warm decomposition invalid: %v", err)
+			}
 		}
 	})
 }

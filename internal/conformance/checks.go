@@ -39,6 +39,7 @@ func Checks() []Check {
 		{"maxflow-differential", CheckMaxflowDifferential},
 		{"domgraph-kernel-vs-naive", CheckDomgraphKernel},
 		{"chains-kernel-vs-scalar", CheckChainsDecompose},
+		{"decompose-warmstart-vs-cold", CheckDecomposeWarmStart},
 		{"classifier-indexed-vs-scalar", CheckClassifierIndexed},
 		{"passive-differential", CheckPassiveDifferential},
 		{"active-exhaustive-exact", CheckActiveExhaustive},

@@ -1,0 +1,142 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"monoclass/internal/chains"
+	"monoclass/internal/domgraph"
+	"monoclass/internal/geom"
+)
+
+// CheckDecomposeWarmStart holds the warm-started chain decomposition
+// to the cold Hopcroft–Karp oracle across every dominance
+// representation a Problem can carry. For each of the dense, blocked,
+// and implicit materializations it requires: bit-identical width to a
+// cold run over the same matrix, a valid decomposition and a
+// certifying antichain of exactly that width, warm-start accounting
+// that balances (augmentations = seed chains − width), and convergence
+// from a caller-supplied greedy cover through DecomposeMatrixSeeded.
+// ±Inf instances exercise the full differential; NaN coordinates are
+// outside the decomposition domain — geom.Dominates makes NaN points
+// mutually dominating without being Equal (NaN != NaN), so the "DAG"
+// acquires 2-cycles and no chain partition exists — and are skipped,
+// matching the problem/online checks' hasNonFinite gates. The NaN
+// corner fixtures still run the check to pin that it declines
+// gracefully instead of panicking.
+func CheckDecomposeWarmStart(in Instance) error {
+	if in.N() == 0 {
+		return nil
+	}
+	pts := in.Pts()
+	if hasNaNPoints(pts) {
+		return nil
+	}
+
+	type matSource struct {
+		name string
+		m    *domgraph.Matrix
+	}
+	// BuildNaive is the views' scalar fallback for non-sweepable
+	// coordinates; ±Inf inputs exercise it through the blocked and
+	// implicit materializations below, and it must agree with the
+	// parallel sweep builder here regardless.
+	sources := []matSource{
+		{"dense", domgraph.Build(pts)},
+		{"dense-naive", domgraph.BuildNaive(pts)},
+		{"blocked", domgraph.NewBlocked(pts, domgraph.BlockedConfig{}).Materialize()},
+		{"implicit", domgraph.NewImplicit(pts).Materialize()},
+	}
+
+	var refWidth = -1
+	for _, src := range sources {
+		cold := chains.DecomposeMatrixCold(pts, src.m)
+		warm, st := chains.DecomposeMatrixStats(pts, src.m)
+		if warm.Width != cold.Width {
+			return fmt.Errorf("%s: warm width %d != cold width %d", src.name, warm.Width, cold.Width)
+		}
+		if err := validateDecomposition(src.name+"-warm", pts, warm); err != nil {
+			return err
+		}
+		if err := validateDecomposition(src.name+"-cold", pts, cold); err != nil {
+			return err
+		}
+		if st.Width != warm.Width {
+			return fmt.Errorf("%s: stats width %d != decomposition width %d", src.name, st.Width, warm.Width)
+		}
+		if st.Augmentations != st.SeedChains-st.Width {
+			return fmt.Errorf("%s: %d augmentations for seed %d -> width %d",
+				src.name, st.Augmentations, st.SeedChains, st.Width)
+		}
+		if st.CertEarlyExit && (st.Phases != 0 || st.Augmentations != 0) {
+			return fmt.Errorf("%s: certificate early exit still ran matching: %+v", src.name, st)
+		}
+		if refWidth == -1 {
+			refWidth = warm.Width
+		} else if warm.Width != refWidth {
+			return fmt.Errorf("%s: width %d != dense width %d", src.name, warm.Width, refWidth)
+		}
+
+		// A caller-supplied greedy cover must converge identically, with
+		// the augmentation count bounded by its seed gap.
+		greedy := chains.GreedyDecompose(pts)
+		seeded, sst := chains.DecomposeMatrixSeeded(pts, src.m, greedy)
+		if seeded.Width != cold.Width {
+			return fmt.Errorf("%s: greedy-seeded width %d != cold width %d", src.name, seeded.Width, cold.Width)
+		}
+		if sst.Augmentations > sst.SeedChains-seeded.Width {
+			return fmt.Errorf("%s: greedy-seeded %d augmentations exceed seed gap %d",
+				src.name, sst.Augmentations, sst.SeedChains-seeded.Width)
+		}
+		if err := validateDecomposition(src.name+"-seeded", pts, seeded); err != nil {
+			return err
+		}
+	}
+
+	// The generic entry point (what Prepare's exact paths call) must
+	// agree with the per-matrix runs.
+	if gen := chains.DecomposeGeneric(pts); gen.Width != refWidth {
+		return fmt.Errorf("DecomposeGeneric width %d != matrix width %d", gen.Width, refWidth)
+	}
+	return nil
+}
+
+// hasNaNPoints reports whether any coordinate is NaN — the one case
+// the sweep-based dominance builders do not define (±Inf is fine).
+func hasNaNPoints(pts []geom.Point) bool {
+	for _, p := range pts {
+		for _, x := range p {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// warmStartCornerFixtures are the static NaN/±Inf shapes the check
+// must survive beyond what the random generators produce; the engine's
+// corner-case pass and TestWarmStartCornerFixtures both run them.
+func warmStartCornerFixtures() []Instance {
+	nan, pinf, ninf := math.NaN(), math.Inf(1), math.Inf(-1)
+	return []Instance{
+		{
+			Family:  "corner-nan-mixed",
+			Points:  [][]float64{{nan, 1, 2}, {0, 1, 2}, {3, 4, 5}, {nan, nan, nan}, {3, 4, 5}},
+			Labels:  []int{0, 1, 0, 1, 0},
+			Weights: []float64{1, 1, 1, 1, 1},
+		},
+		{
+			Family:  "corner-inf-chain",
+			Points:  [][]float64{{ninf, ninf, ninf}, {0, 0, 0}, {pinf, pinf, pinf}, {pinf, 0, ninf}},
+			Labels:  []int{0, 0, 1, 1},
+			Weights: []float64{1, 2, 1, 2},
+		},
+		{
+			Family:  "corner-inf-nan",
+			Points:  [][]float64{{pinf, nan, 0}, {ninf, 0, nan}, {nan, pinf, ninf}, {0, 0, 0}},
+			Labels:  []int{1, 0, 1, 0},
+			Weights: []float64{1, 1, 1, 1},
+		},
+	}
+}

@@ -64,13 +64,42 @@ func (b *BitsetBipartite) row(u int) []uint64 {
 	return b.adj[u*b.words : (u+1)*b.words]
 }
 
-// MaxMatchingBitset is Hopcroft–Karp over the packed adjacency. The
-// phase structure (and therefore the O(√V) phase bound) is identical
-// to MaxMatching; the BFS layering additionally keeps an
-// unvisited-right bitset so each row scan is one AND per word and
-// every right vertex is expanded at most once per phase, making a BFS
-// O(V²/64) instead of O(E).
+// MatchingStats reports the work one matching computation performed.
+// Warm-started calls use it to verify the width-bounded augmentation
+// claim: a matching seeded from a valid chain cover of c chains needs
+// exactly c − w further augmentations to reach the optimum cover of
+// w chains, independent of the O(√V) cold-start phase bound.
+type MatchingStats struct {
+	// SeedSize is the number of matched pairs adopted from the seed.
+	SeedSize int
+	// Phases counts BFS layerings run, including the final empty one
+	// that certifies maximality (so a perfect seed still costs 1).
+	Phases int
+	// Augmentations counts augmenting paths applied on top of the
+	// seed; always the final size minus SeedSize.
+	Augmentations int
+}
+
+// MaxMatchingBitset is Hopcroft–Karp over the packed adjacency from an
+// empty matching. The phase structure (and therefore the O(√V) phase
+// bound) is identical to MaxMatching; the BFS layering additionally
+// keeps an unvisited-right bitset so each row scan is one AND per word
+// and every right vertex is expanded at most once per phase, making a
+// BFS O(V²/64) instead of O(E).
 func MaxMatchingBitset(b *BitsetBipartite) Matching {
+	m, _ := MaxMatchingBitsetWarm(b, nil)
+	return m
+}
+
+// MaxMatchingBitsetWarm is MaxMatchingBitset warm-started from a seed
+// matching: seedL[u] is the right vertex initially matched to left
+// vertex u, or -1. A nil seedL means a cold start. Every seeded pair
+// must be an edge of b and no right vertex may be seeded twice (the
+// function panics otherwise — seeds come from trusted chain covers,
+// not user input). Hopcroft–Karp converges to a maximum matching from
+// any valid initial matching; since each phase augments at least once,
+// the whole run costs at most (max − |seed|) + 1 BFS phases.
+func MaxMatchingBitsetWarm(b *BitsetBipartite, seedL []int) (Matching, MatchingStats) {
 	matchL := make([]int, b.nLeft)
 	matchR := make([]int, b.nRight)
 	for i := range matchL {
@@ -78,6 +107,29 @@ func MaxMatchingBitset(b *BitsetBipartite) Matching {
 	}
 	for i := range matchR {
 		matchR[i] = unmatched
+	}
+	var st MatchingStats
+	if seedL != nil {
+		if len(seedL) != b.nLeft {
+			panic(fmt.Sprintf("matching: seed covers %d left vertices, want %d", len(seedL), b.nLeft))
+		}
+		for u, v := range seedL {
+			if v == unmatched {
+				continue
+			}
+			if v < 0 || v >= b.nRight {
+				panic(fmt.Sprintf("matching: seed right vertex %d out of range [0,%d)", v, b.nRight))
+			}
+			if !b.HasEdge(u, v) {
+				panic(fmt.Sprintf("matching: seed pair (%d,%d) is not an edge", u, v))
+			}
+			if matchR[v] != unmatched {
+				panic(fmt.Sprintf("matching: seed matches right vertex %d twice", v))
+			}
+			matchL[u] = v
+			matchR[v] = u
+			st.SeedSize++
+		}
 	}
 
 	const inf = int(^uint(0) >> 1)
@@ -146,15 +198,20 @@ func MaxMatchingBitset(b *BitsetBipartite) Matching {
 		return false
 	}
 
-	size := 0
-	for bfs() {
+	size := st.SeedSize
+	for {
+		st.Phases++
+		if !bfs() {
+			break
+		}
 		for u := 0; u < b.nLeft; u++ {
 			if matchL[u] == unmatched && dfs(u) {
 				size++
+				st.Augmentations++
 			}
 		}
 	}
-	return Matching{MatchLeft: matchL, MatchRight: matchR, Size: size}
+	return Matching{MatchLeft: matchL, MatchRight: matchR, Size: size}, st
 }
 
 // MinVertexCoverBitset is MinVertexCover over the packed adjacency:

@@ -21,6 +21,7 @@ package problem
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"monoclass/internal/chains"
 	"monoclass/internal/domgraph"
@@ -91,8 +92,14 @@ const (
 	// DefaultExactDecomposeLimit is the largest n at which a
 	// non-dense Problem at d ≥ 3 still materializes the matrix
 	// transiently to compute an exact minimum chain decomposition;
-	// past it, GreedyDecompose supplies a valid (possibly wider) one.
-	DefaultExactDecomposeLimit = 16384
+	// past it (or past the dense-footprint guard), GreedyDecompose
+	// supplies a valid (possibly wider) cover and Stats records the
+	// fallback. Raised from 16384 once the matching was warm-started
+	// from the greedy cover: exact width now costs only the
+	// seed-to-optimum augmentation gap on top of the greedy cover
+	// instead of O(√n) cold Hopcroft–Karp phases, so the transient
+	// matrix build — not the matching — bounds the practical limit.
+	DefaultExactDecomposeLimit = 65536
 	// streamCountLimit is the largest n at which Violations streams
 	// packed rows out of a non-dense view; past it the chain-counting
 	// method avoids the O(n²) row scan entirely.
@@ -132,6 +139,65 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Decomposition path names recorded in PrepareStats.DecomposePath.
+const (
+	// PathFast2D: the d ≤ 2 O(n log n) construction; always exact.
+	PathFast2D = "fast-2d"
+	// PathExactDense: warm-started matching over the retained dense
+	// matrix; exact.
+	PathExactDense = "exact-dense"
+	// PathExactTransient: non-dense mode that materialized the matrix
+	// transiently for the warm-started matching; exact.
+	PathExactTransient = "exact-transient"
+	// PathGreedyFallback: past ExactDecomposeLimit (or the dense
+	// footprint guard) — first-fit cover, possibly wider than the true
+	// width. The one path where ExactWidth is false.
+	PathGreedyFallback = "greedy-fallback"
+	// PathAdopted: decomposition computed from a caller-supplied matrix
+	// (problem.Adopt); exact.
+	PathAdopted = "adopted"
+	// PathLoaded: decomposition restored verbatim from a serialized
+	// Problem (problem.Read); exactness is whatever the writer recorded.
+	PathLoaded = "loaded"
+)
+
+// PrepareStats records how Prepare built a Problem and how long each
+// stage took; benchtab's problem table, monoclass prepare, and the
+// serve /stats endpoint all surface it. The zero TotalNS of a loaded
+// Problem distinguishes restored instances from freshly prepared ones.
+type PrepareStats struct {
+	// N and Dim echo the instance shape.
+	N   int `json:"n"`
+	Dim int `json:"d"`
+	// Mode is the resolved matrix mode (never ModeAuto).
+	Mode string `json:"mode"`
+	// Width is the decomposition's chain count; ExactWidth reports
+	// whether that is the true dominance width or a greedy upper bound.
+	Width      int  `json:"width"`
+	ExactWidth bool `json:"exact_width"`
+	// DecomposePath names which decomposition route ran (Path*
+	// constants) — the greedy fallback is no longer silent.
+	DecomposePath string `json:"decompose_path"`
+	// SeedChains, Augmentations, Phases, and CertEarlyExit mirror
+	// chains.DecomposeStats for the exact matrix paths: the warm-start
+	// seed's chain count, the augmenting paths needed on top of it
+	// (exactly SeedChains − Width), the BFS phases run, and whether the
+	// antichain certificate proved the seed optimal with no matching
+	// work at all.
+	SeedChains    int  `json:"seed_chains,omitempty"`
+	Augmentations int  `json:"augmentations,omitempty"`
+	Phases        int  `json:"phases,omitempty"`
+	CertEarlyExit bool `json:"cert_early_exit,omitempty"`
+	// Per-stage wall times: dominance representation build, chain
+	// decomposition (including a transient materialization when the
+	// path is exact-transient), flow-network construction, and the
+	// whole Prepare call end to end.
+	MatrixNS    int64 `json:"matrix_ns"`
+	DecomposeNS int64 `json:"decompose_ns"`
+	NetworkNS   int64 `json:"network_ns"`
+	TotalNS     int64 `json:"total_ns"`
+}
+
 // SolveOptions configures one Solve call over a prepared Problem.
 type SolveOptions struct {
 	// Solver is the max-flow algorithm; the default workspace-pooled
@@ -152,6 +218,7 @@ type Problem struct {
 
 	dec        chains.Decomposition
 	exactWidth bool // dec is a minimum decomposition (width = dominance width)
+	stats      PrepareStats
 
 	prep *passive.Prepared
 
@@ -171,6 +238,7 @@ type Problem struct {
 // decomposition is exact — the problem-prepared-vs-legacy conformance
 // check holds it to that in all three modes.
 func Prepare(ws geom.WeightedSet, opts Options) (*Problem, error) {
+	start := time.Now()
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("problem: empty input set")
 	}
@@ -200,6 +268,7 @@ func Prepare(ws geom.WeightedSet, opts Options) (*Problem, error) {
 		}
 	}
 
+	matrixStart := time.Now()
 	var view domgraph.View
 	var matrix *domgraph.Matrix
 	switch mode {
@@ -211,28 +280,40 @@ func Prepare(ws geom.WeightedSet, opts Options) (*Problem, error) {
 	case ModeImplicit:
 		view = domgraph.NewImplicit(pts)
 	}
+	var st PrepareStats
+	st.MatrixNS = time.Since(matrixStart).Nanoseconds()
 
+	decStart := time.Now()
 	var dec chains.Decomposition
+	var dst chains.DecomposeStats
+	netMatrix := matrix
 	exact := true
 	switch {
 	case d <= 2:
 		// O(n log n) fast paths; never touch the matrix.
 		dec = chains.Decompose(pts)
+		st.DecomposePath = PathFast2D
 	case matrix != nil:
-		dec = chains.DecomposeMatrix(pts, matrix)
-	case n <= o.ExactDecomposeLimit:
-		// Materialize transiently for the exact Hopcroft–Karp cover;
-		// the matrix (== domgraph.Build's bits) is dropped right after
-		// the network build below.
+		dec, dst = chains.DecomposeMatrixStats(pts, matrix)
+		st.DecomposePath = PathExactDense
+	case n <= o.ExactDecomposeLimit && denseFootprint(n) <= o.MaxDenseBytes:
+		// Materialize transiently for the exact warm-started cover; the
+		// matrix (== domgraph.Build's bits) is dropped right after the
+		// network build in assemble.
 		m := view.Materialize()
-		dec = chains.DecomposeMatrix(pts, m)
-		return assemble(owned, pts, mode, view, nil, m, dec, true)
+		dec, dst = chains.DecomposeMatrixStats(pts, m)
+		st.DecomposePath = PathExactTransient
+		netMatrix = m
 	default:
 		gc := chains.GreedyDecompose(pts)
 		dec = chains.Decomposition{Chains: gc, Width: len(gc)}
+		st.DecomposePath = PathGreedyFallback
 		exact = false
 	}
-	return assemble(owned, pts, mode, view, matrix, matrix, dec, exact)
+	st.DecomposeNS = time.Since(decStart).Nanoseconds()
+	st.SeedChains, st.Augmentations = dst.SeedChains, dst.Augmentations
+	st.Phases, st.CertEarlyExit = dst.Phases, dst.CertEarlyExit
+	return assemble(owned, pts, mode, view, matrix, netMatrix, dec, exact, st, start)
 }
 
 // Adopt wraps an already-built dense matrix (domgraph.Build over ws's
@@ -253,14 +334,26 @@ func Adopt(ws geom.WeightedSet, m *domgraph.Matrix) (*Problem, error) {
 		return nil, fmt.Errorf("problem: matrix covers %d points, want %d", m.N(), len(ws))
 	}
 	pts := pointsOf(ws)
-	dec := chains.DecomposeMatrix(pts, m)
-	return assemble(ws, pts, ModeDense, m, m, m, dec, true)
+	decStart := time.Now()
+	dec, dst := chains.DecomposeMatrixStats(pts, m)
+	st := PrepareStats{
+		DecomposePath: PathAdopted,
+		DecomposeNS:   time.Since(decStart).Nanoseconds(),
+		SeedChains:    dst.SeedChains,
+		Augmentations: dst.Augmentations,
+		Phases:        dst.Phases,
+		CertEarlyExit: dst.CertEarlyExit,
+	}
+	return assemble(ws, pts, ModeDense, m, m, m, dec, true, st, decStart)
 }
 
 // assemble builds the passive network and finishes construction.
 // netMatrix (possibly nil, possibly transient) drives the kernel edge
-// builder; matrix is what the Problem retains.
-func assemble(ws geom.WeightedSet, pts []geom.Point, mode MatrixMode, view domgraph.View, matrix, netMatrix *domgraph.Matrix, dec chains.Decomposition, exact bool) (*Problem, error) {
+// builder; matrix is what the Problem retains. st carries the stage
+// timings accumulated so far; assemble adds the network stage and the
+// end-to-end total from start.
+func assemble(ws geom.WeightedSet, pts []geom.Point, mode MatrixMode, view domgraph.View, matrix, netMatrix *domgraph.Matrix, dec chains.Decomposition, exact bool, st PrepareStats, start time.Time) (*Problem, error) {
+	netStart := time.Now()
 	popts := passive.Options{Chains: dec.Chains}
 	if netMatrix != nil && ws.Dim() >= 3 {
 		// Kernel path, mirroring passive.Solve's own d ≥ 3 dispatch so
@@ -273,6 +366,11 @@ func assemble(ws geom.WeightedSet, pts []geom.Point, mode MatrixMode, view domgr
 	if err != nil {
 		return nil, err
 	}
+	st.NetworkNS = time.Since(netStart).Nanoseconds()
+	st.TotalNS = time.Since(start).Nanoseconds()
+	st.N, st.Dim = len(ws), ws.Dim()
+	st.Mode = mode.String()
+	st.Width, st.ExactWidth = dec.Width, exact
 	return &Problem{
 		ws:         ws,
 		pts:        pts,
@@ -282,6 +380,7 @@ func assemble(ws geom.WeightedSet, pts []geom.Point, mode MatrixMode, view domgr
 		matrix:     matrix,
 		dec:        dec,
 		exactWidth: exact,
+		stats:      st,
 		prep:       prep,
 	}, nil
 }
@@ -366,6 +465,12 @@ func (p *Problem) Width() int { return p.dec.Width }
 // ExactWidth reports whether the decomposition is minimum (Dilworth
 // width) rather than a greedy valid cover.
 func (p *Problem) ExactWidth() bool { return p.exactWidth }
+
+// Stats returns the prepare instrumentation: per-stage wall times,
+// the decomposition path taken (exact vs the greedy fallback), and the
+// warm-start work counters. Loaded Problems carry PathLoaded with zero
+// timings.
+func (p *Problem) Stats() PrepareStats { return p.stats }
 
 // Contending returns a copy of the contending-point mask.
 func (p *Problem) Contending() []bool { return p.prep.Contending() }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"monoclass/internal/chains"
 	"monoclass/internal/domgraph"
@@ -259,7 +260,16 @@ func Read(r io.Reader) (*Problem, error) {
 		view = domgraph.NewImplicit(pts)
 	}
 
-	return assemble(ws, pts, mode, view, matrix, matrix, decomp, pf.ExactWidth)
+	// A restored Problem keeps its stored decomposition verbatim;
+	// PathLoaded with zero stage timings marks it as not freshly
+	// prepared.
+	st := PrepareStats{DecomposePath: PathLoaded}
+	p, err := assemble(ws, pts, mode, view, matrix, matrix, decomp, pf.ExactWidth, st, time.Now())
+	if err != nil {
+		return nil, err
+	}
+	p.stats.NetworkNS, p.stats.TotalNS = 0, 0
+	return p, nil
 }
 
 // spotCheckMatrix samples pairs with a deterministic splitmix64 stream

@@ -14,6 +14,7 @@ import (
 	"monoclass/internal/classifier"
 	"monoclass/internal/geom"
 	"monoclass/internal/online"
+	"monoclass/internal/problem"
 )
 
 // Config tunes a Server. The zero value is serviceable: default
@@ -31,6 +32,12 @@ type Config struct {
 	// Online, when non-nil, enables the incremental learning pipeline
 	// and the POST /learn endpoint (see OnlineConfig).
 	Online *OnlineConfig
+	// Prepare, when non-nil, records how the initial model's training
+	// instance was prepared (problem.PrepareStats): /stats serves it
+	// under "prepare" and GET /model answers X-Model-Width and
+	// X-Model-Exact-Width headers, so clients can tell an exact-width
+	// model from one trained on a greedy fallback cover.
+	Prepare *problem.PrepareStats
 }
 
 // Server is the HTTP serving layer: a Registry for hot-swappable
@@ -257,6 +264,14 @@ func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Model-Version", strconv.FormatInt(snap.Version, 10))
+	if p := s.cfg.Prepare; p != nil {
+		// Metadata travels in headers so the body bytes stay exactly
+		// classifier.WriteModel's output (round-trip goldens depend on
+		// that).
+		w.Header().Set("X-Model-Width", strconv.Itoa(p.Width))
+		w.Header().Set("X-Model-Exact-Width", strconv.FormatBool(p.ExactWidth))
+		w.Header().Set("X-Model-Decompose-Path", p.DecomposePath)
+	}
 	classifier.WriteModel(w, snap.Model)
 }
 
@@ -302,6 +317,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			QueueCap:      s.pipe.QueueCap(),
 		}
 	}
+	snap.Prepare = s.cfg.Prepare
 	writeJSON(w, http.StatusOK, snap)
 }
 

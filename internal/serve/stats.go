@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"monoclass/internal/online"
+	"monoclass/internal/problem"
 )
 
 // histBuckets is the number of power-of-two batch-size histogram
@@ -73,6 +74,11 @@ type StatsSnapshot struct {
 	// Online reports the incremental learning pipeline; omitted when
 	// online learning is not enabled.
 	Online *OnlineStats `json:"online,omitempty"`
+	// Prepare echoes Config.Prepare — how the served model's training
+	// instance was prepared (stage timings, decomposition path,
+	// warm-start counters); omitted when the server was handed a model
+	// without its provenance.
+	Prepare *problem.PrepareStats `json:"prepare,omitempty"`
 }
 
 // OnlineStats is the /stats section for the learning pipeline: the

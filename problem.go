@@ -24,6 +24,11 @@ type (
 	// MatrixMode selects the dominance representation: ModeAuto,
 	// ModeDense, ModeBlocked, or ModeImplicit.
 	MatrixMode = problem.MatrixMode
+	// PrepareStats reports how PrepareProblem built an instance:
+	// per-stage wall times, the decomposition path taken (exact
+	// warm-started matching vs the greedy fallback), and the
+	// warm-start work counters. Read it with (*Problem).Stats.
+	PrepareStats = problem.PrepareStats
 )
 
 // Matrix modes.
