@@ -9,6 +9,7 @@
 #   make bench-maxflow     regenerate BENCH_maxflow.json (flow-solver engine)
 #   make bench-classify    regenerate BENCH_classify.json (anchor index vs scalar)
 #   make bench-serve       regenerate BENCH_serve.json (serving layer loadgen)
+#   make bench-shard       sharded-fleet loadgen smoke (replica rows only)
 #   make bench-online      regenerate BENCH_online.json (incremental vs retrain)
 #   make bench-problem     regenerate BENCH_problem.json (prepared-problem lifecycle)
 #   make profile-prepare   CPU+heap profile of the prepare-stage sweep (pprof files)
@@ -21,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve bench-online bench-problem profile-prepare ci-smoke fuzz-online fuzz-problem serve-stress verify verify-full clean
+.PHONY: all build vet test race conformance conformance-long conformance-mutate bench-domkernel bench-maxflow bench-classify bench-serve bench-shard bench-online bench-problem profile-prepare ci-smoke fuzz-online fuzz-problem serve-stress verify verify-full clean
 
 all: check
 
@@ -97,6 +98,15 @@ ifdef QUICK
 else
 	$(GO) run ./cmd/loadgen -out BENCH_serve.json -seed 42
 endif
+
+# Sharded serving smoke: replica-fleet rows only (bN+rN configs drive
+# an in-process fleet behind the consistent-hash router), plus the
+# shard package under the race detector. Never overwrites
+# BENCH_serve.json — regenerate that with `make bench-serve`, whose
+# default configs include the replica rows.
+bench-shard:
+	$(GO) test -race -count=1 ./internal/shard
+	$(GO) run ./cmd/loadgen -out /tmp/BENCH_shard.quick.json -seed 42 -quick -configs b64+r2,b64@2+r3
 
 # Amortized per-delta cost of the incremental learner (exact and lazy
 # rebuild cadences) against full retrains on the same delta trace

@@ -18,7 +18,16 @@
 // holds batches open up to 2ms) — or "bN" — client-side batches of N
 // points per /classify/batch request, where -requests counts points
 // and throughput_rps reports classifications per second. An optional
-// "@PROCS" suffix pins runtime.GOMAXPROCS for that row ("32x2ms@2").
+// "@PROCS" suffix pins runtime.GOMAXPROCS for that row ("32x2ms@2"),
+// and an optional "+rN" suffix serves the row through an in-process
+// replica fleet of N servers behind the sharding router
+// ("b512@2+r2"): requests scale by N so per-replica work stays
+// comparable, throughput_rps aggregates the whole fleet, and
+// mean_batch/batches come from the router's exact summed totals.
+//
+// With -shard-addrs the row drives an already-running external fleet:
+// loadgen builds a local sharding router over the comma-separated
+// replica URLs and replays through it, one row, aggregate numbers.
 //
 // With -learn-every N the in-process server is started with online
 // learning enabled and every Nth classify call also posts one /learn
@@ -28,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -69,7 +79,11 @@ type configRow struct {
 	MaxBatch      int     `json:"max_batch"`
 	MaxWaitMillis float64 `json:"max_wait_ms"`
 	ClientBatch   int     `json:"client_batch"`
-	GOMAXPROCS    int     `json:"gomaxprocs"`
+	// Replicas > 0 marks a sharded row: the requests were served by a
+	// replica fleet of this size behind the consistent-hash router, and
+	// the throughput/batch numbers aggregate the whole fleet.
+	Replicas   int `json:"replicas,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 	Requests      int     `json:"requests"`
 	Concurrency   int     `json:"concurrency"`
 	ElapsedMillis float64 `json:"elapsed_ms"`
@@ -102,6 +116,7 @@ type options struct {
 	concurrency int
 	configs     string
 	url         string
+	shardAddrs  string
 	learnEvery  int
 }
 
@@ -116,9 +131,11 @@ func main() {
 	flag.Float64Var(&opt.noise, "noise", 0.1, "label-flip probability")
 	flag.IntVar(&opt.requests, "requests", 20000, "requests per configuration")
 	flag.IntVar(&opt.concurrency, "concurrency", 32, "concurrent client goroutines")
-	flag.StringVar(&opt.configs, "configs", "1x0s,8x1ms,32x2ms,32x2ms@2,b64,b512,b512@2",
-		"comma-separated SPEC[@PROCS] configurations (SPEC = MAXBATCHxMAXWAIT or bN for client batches)")
+	flag.StringVar(&opt.configs, "configs", "1x0s,8x1ms,32x2ms,32x2ms@2,b64,b512,b512@2,b512@2+r2,b2048@2+r2,b4096@2+r2,b4096@2+r3",
+		"comma-separated SPEC[@PROCS][+rN] configurations (SPEC = MAXBATCHxMAXWAIT or bN for client batches; +rN serves through an N-replica fleet)")
 	flag.StringVar(&opt.url, "url", "", "replay against an external server instead of in-process (single row)")
+	flag.StringVar(&opt.shardAddrs, "shard-addrs", "",
+		"comma-separated external replica base URLs; loadgen fronts them with a local sharding router and replays through it (single row)")
 	flag.IntVar(&opt.learnEvery, "learn-every", 0,
 		"every Nth classify call also posts one /learn insert delta, measuring serving under model churn (0: disabled; in-process only)")
 	flag.Parse()
@@ -174,12 +191,23 @@ func run(opt options, logw io.Writer) error {
 		Dim:         sol.Classifier.Dim(),
 	}
 
+	if opt.url != "" && opt.shardAddrs != "" {
+		return fmt.Errorf("-url and -shard-addrs are mutually exclusive")
+	}
 	if opt.url != "" {
 		row, err := replay(opt.url, pts, opt.requests, opt.concurrency, 0, 0, nil)
 		if err != nil {
 			return err
 		}
 		row.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		rep.Rows = append(rep.Rows, *row)
+	} else if opt.shardAddrs != "" {
+		row, err := replayShardAddrs(opt, pts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "loadgen: external fleet of %d replicas → %.0f req/s, p50=%.0fµs p99=%.0fµs\n",
+			row.Replicas, row.ThroughputRPS, row.P50Micros, row.P99Micros)
 		rep.Rows = append(rep.Rows, *row)
 	} else {
 		for _, bc := range configs {
@@ -188,12 +216,16 @@ func run(opt options, logw io.Writer) error {
 				return err
 			}
 			rep.Rows = append(rep.Rows, *row)
+			tag := ""
+			if bc.replicas > 1 {
+				tag = fmt.Sprintf(" replicas=%d", bc.replicas)
+			}
 			if bc.clientBatch > 0 {
-				fmt.Fprintf(logw, "loadgen: client-batch=%d procs=%d → %.0f classifications/s, p50=%.0fµs p99=%.0fµs\n",
-					bc.clientBatch, row.GOMAXPROCS, row.ThroughputRPS, row.P50Micros, row.P99Micros)
+				fmt.Fprintf(logw, "loadgen: client-batch=%d procs=%d%s → %.0f classifications/s, p50=%.0fµs p99=%.0fµs\n",
+					bc.clientBatch, row.GOMAXPROCS, tag, row.ThroughputRPS, row.P50Micros, row.P99Micros)
 			} else {
-				fmt.Fprintf(logw, "loadgen: batch=%d wait=%s procs=%d → %.0f req/s, p50=%.0fµs p99=%.0fµs (mean batch %.2f)\n",
-					bc.batcher.MaxBatch, bc.batcher.MaxWait, row.GOMAXPROCS, row.ThroughputRPS, row.P50Micros, row.P99Micros, row.MeanBatch)
+				fmt.Fprintf(logw, "loadgen: batch=%d wait=%s procs=%d%s → %.0f req/s, p50=%.0fµs p99=%.0fµs (mean batch %.2f)\n",
+					bc.batcher.MaxBatch, bc.batcher.MaxWait, row.GOMAXPROCS, tag, row.ThroughputRPS, row.P50Micros, row.P99Micros, row.MeanBatch)
 			}
 			if opt.learnEvery > 0 {
 				fmt.Fprintf(logw, "loadgen:   learn: %d posted, %d accepted, %d rejected\n",
@@ -249,15 +281,24 @@ type benchConfig struct {
 	batcher     monoclass.BatcherConfig
 	clientBatch int // > 0: bN mode, /classify/batch with N points per call
 	procs       int // > 0: runtime.GOMAXPROCS for the row's duration
+	replicas    int // > 1: +rN mode, an in-process replica fleet behind the sharding router
 }
 
-// parseConfigs parses "32x2ms,1x0s,b512,32x2ms@2" into benchmark
-// configurations; a non-positive wait means greedy dispatch.
+// parseConfigs parses "32x2ms,1x0s,b512,32x2ms@2,b512@2+r2" into
+// benchmark configurations; a non-positive wait means greedy dispatch.
 func parseConfigs(s string) ([]benchConfig, error) {
 	var out []benchConfig
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		var bc benchConfig
+		if i := strings.LastIndex(part, "+r"); i >= 0 {
+			n, err := strconv.Atoi(part[i+2:])
+			if err != nil || n < 2 {
+				return nil, fmt.Errorf("invalid replica suffix in %q (want SPEC+rN with N ≥ 2, e.g. b512@2+r2)", part)
+			}
+			bc.replicas = n
+			part = part[:i]
+		}
 		if i := strings.IndexByte(part, '@'); i >= 0 {
 			procs, err := strconv.Atoi(part[i+1:])
 			if err != nil || procs < 1 {
@@ -310,6 +351,9 @@ func runRow(bc benchConfig, model *monoclass.AnchorSet, pts []monoclass.Point, o
 		// measures the classify path racing live model swaps.
 		cfg.Online = &monoclass.ServeOnlineConfig{QueueCap: 8192}
 	}
+	if bc.replicas > 1 {
+		return runClusterRow(bc, model, cfg, pts, opt)
+	}
 	srv, err := monoclass.NewServer(model, cfg)
 	if err != nil {
 		return nil, err
@@ -335,6 +379,110 @@ func runRow(bc benchConfig, model *monoclass.AnchorSet, pts []monoclass.Point, o
 			row.MaxWaitMillis = 0
 		}
 	}
+	return row, nil
+}
+
+// runClusterRow measures one +rN configuration against a fresh
+// in-process replica fleet behind the sharding router: requests scale
+// by the replica count so per-replica work matches the single-server
+// rows, and the batch-shape numbers come from the router's exact
+// summed fleet totals.
+func runClusterRow(bc benchConfig, model *monoclass.AnchorSet, cfg monoclass.ServeConfig, pts []monoclass.Point, opt options) (*configRow, error) {
+	cl, err := monoclass.NewShardCluster(model, monoclass.ShardClusterConfig{
+		Replicas:     bc.replicas,
+		Serve:        cfg,
+		SyncInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := cl.Start("127.0.0.1:0")
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	url := "http://" + addr.String()
+	row, err := replay(url, pts, opt.requests*bc.replicas, opt.concurrency, bc.clientBatch, opt.learnEvery, nil)
+	if err == nil {
+		fillRouterStats(url, row)
+	}
+	if cerr := cl.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("closing replica fleet: %w", cerr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	row.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	row.ClientBatch = bc.clientBatch
+	row.Replicas = bc.replicas
+	if bc.clientBatch == 0 {
+		row.MaxBatch = bc.batcher.MaxBatch
+		row.MaxWaitMillis = float64(bc.batcher.MaxWait) / float64(time.Millisecond)
+		if row.MaxWaitMillis < 0 {
+			row.MaxWaitMillis = 0
+		}
+	}
+	return row, nil
+}
+
+// fillRouterStats reads the sharding router's aggregate /stats and
+// copies the fleet-exact batch-shape totals into the row.
+func fillRouterStats(url string, row *configRow) {
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var agg struct {
+		Totals struct {
+			MeanBatch float64 `json:"mean_batch"`
+			Batches   int64   `json:"batches"`
+		} `json:"totals"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&agg) == nil {
+		row.MeanBatch = agg.Totals.MeanBatch
+		row.Batches = agg.Totals.Batches
+	}
+}
+
+// replayShardAddrs fronts an already-running external fleet with a
+// local ring router and replays through it, producing one aggregate
+// row.
+func replayShardAddrs(opt options, pts []monoclass.Point) (*configRow, error) {
+	var eps []string
+	for _, part := range strings.Split(opt.shardAddrs, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			eps = append(eps, part)
+		}
+	}
+	strat, err := monoclass.NewRing(len(eps), 0)
+	if err != nil {
+		return nil, err
+	}
+	router, err := monoclass.NewShardRouter(eps, monoclass.ShardRouterConfig{Strategy: strat})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := router.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	url := "http://" + addr.String()
+	row, err := replay(url, pts, opt.requests, opt.concurrency, 0, 0, nil)
+	if err == nil {
+		fillRouterStats(url, row)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	serr := router.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	if serr != nil {
+		return nil, serr
+	}
+	row.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	row.Replicas = len(eps)
 	return row, nil
 }
 
@@ -448,6 +596,7 @@ func replay(url string, pts []monoclass.Point, requests, concurrency, clientBatc
 					rejected.Add(1)
 				default:
 					errors.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s%s: status %d", url, path, resp.StatusCode))
 				}
 				if learnEvery > 0 && i%learnEvery == learnEvery-1 {
 					lb := learnBodies[idx%len(learnBodies)]

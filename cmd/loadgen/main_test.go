@@ -109,12 +109,12 @@ func TestRunQuickCapsWork(t *testing.T) {
 }
 
 func TestParseConfigs(t *testing.T) {
-	got, err := parseConfigs(" 1x0s, 32x2ms ,8x-5ms,b512, 32x2ms@2 ,b64@3")
+	got, err := parseConfigs(" 1x0s, 32x2ms ,8x-5ms,b512, 32x2ms@2 ,b64@3,b512@2+r2,16x1ms+r3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 6 {
-		t.Fatalf("got %d configs, want 6", len(got))
+	if len(got) != 8 {
+		t.Fatalf("got %d configs, want 8", len(got))
 	}
 	if got[0].batcher.MaxBatch != 1 || got[0].batcher.MaxWait != -1 {
 		t.Errorf("1x0s → %+v, want greedy", got[0])
@@ -134,7 +134,13 @@ func TestParseConfigs(t *testing.T) {
 	if got[5].clientBatch != 64 || got[5].procs != 3 {
 		t.Errorf("b64@3 → %+v", got[5])
 	}
-	for _, bad := range []string{"", "x2ms", "0x2ms", "3x", "3xbogus", "-1x2ms", "b0", "bx", "32x2ms@0", "b512@x"} {
+	if got[6].clientBatch != 512 || got[6].procs != 2 || got[6].replicas != 2 {
+		t.Errorf("b512@2+r2 → %+v", got[6])
+	}
+	if got[7].batcher.MaxBatch != 16 || got[7].procs != 0 || got[7].replicas != 3 {
+		t.Errorf("16x1ms+r3 → %+v", got[7])
+	}
+	for _, bad := range []string{"", "x2ms", "0x2ms", "3x", "3xbogus", "-1x2ms", "b0", "bx", "32x2ms@0", "b512@x", "b512+r1", "b512+rx", "+r2"} {
 		if _, err := parseConfigs(bad); err == nil {
 			t.Errorf("parseConfigs(%q) accepted", bad)
 		}
@@ -182,6 +188,59 @@ func TestRunClientBatch(t *testing.T) {
 	}
 	if row.Requests != 512 || row.Errors != 0 || row.ThroughputRPS <= 0 {
 		t.Errorf("implausible client-batch row %+v", row)
+	}
+}
+
+// TestRunReplicaRow drives a +rN configuration end to end: the row is
+// served by an in-process replica fleet behind the sharding router,
+// requests scale by the replica count, and the batch totals come from
+// the router's fleet-exact aggregation.
+func TestRunReplicaRow(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var log bytes.Buffer
+	opt := options{
+		out:         out,
+		seed:        9,
+		kind:        "planted",
+		n:           128,
+		dim:         2,
+		noise:       0.1,
+		requests:    256,
+		concurrency: 4,
+		configs:     "b32+r2",
+	}
+	if err := run(opt, &log); err != nil {
+		t.Fatalf("run: %v\n%s", err, log.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	if row.Replicas != 2 || row.ClientBatch != 32 {
+		t.Errorf("row %+v lost replicas/client_batch", row)
+	}
+	if row.Requests != 512 {
+		t.Errorf("requests = %d, want 256 scaled by 2 replicas", row.Requests)
+	}
+	if row.Errors != 0 || row.Rejected != 0 || row.ThroughputRPS <= 0 {
+		t.Errorf("implausible replica row %+v", row)
+	}
+	// 512 points in batches of 32 → exactly 16 fleet-wide batches from
+	// the router's summed totals.
+	if row.Batches != 16 || row.MeanBatch != 32 {
+		t.Errorf("fleet totals batches=%d mean=%g, want 16 batches of 32", row.Batches, row.MeanBatch)
+	}
+	if !strings.Contains(log.String(), "replicas=2") {
+		t.Errorf("log %q never mentioned the fleet", log.String())
 	}
 }
 

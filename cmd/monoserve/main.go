@@ -10,6 +10,7 @@
 //	          [-holdout data.csv -max-werr 120] [-spot-audit]
 //	          [-learn] [-train data.csv] [-rebuild-every 64]
 //	          [-max-drift W] [-learn-queue 1024] [-no-interim]
+//	          [-replicas N -sync-interval 100ms]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -train, the initial model is trained from the labeled CSV at
@@ -28,6 +29,13 @@
 //	POST /model           promote a new model (gated by audits)
 //	GET  /healthz         liveness + current version
 //	GET  /stats           counters: requests, batch histogram, swaps, online learning
+//
+// With -replicas N (N > 1) the process runs an in-process scale-out
+// fleet: N replica servers on loopback ports behind a sharding router
+// listening on -addr. Promotions land on the primary replica and
+// replicate to the fleet every -sync-interval; audits and learning
+// stay primary-side. For a cross-process fleet, run N monoserve
+// processes and front them with cmd/monoshard instead.
 //
 // The process drains gracefully on SIGINT/SIGTERM: accepted requests
 // are answered before exit. When the queue is full, new requests are
@@ -71,6 +79,8 @@ func run(args []string) error {
 	maxDrift := fs.Float64("max-drift", 0, "force an exact re-solve when the drift bound exceeds this weight (0: no cap)")
 	learnQueue := fs.Int("learn-queue", 1024, "bounded delta queue capacity (backpressure beyond it)")
 	noInterim := fs.Bool("no-interim", false, "disable cheap interim models between exact re-solves")
+	replicas := fs.Int("replicas", 1, "serve through an in-process replica fleet of this size behind a sharding router (1: single server)")
+	syncInterval := fs.Duration("sync-interval", 100*time.Millisecond, "model replication poll cadence with -replicas > 1")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (training + serving) to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile at exit to this file")
 	fs.Parse(args)
@@ -187,6 +197,20 @@ func run(args []string) error {
 		}
 	}
 
+	if *replicas > 1 {
+		// Scale-out mode: N replica servers on loopback ports behind a
+		// sharding router listening on -addr. Audits and learning stay on
+		// the primary; the syncer fans promotions out to the fleet.
+		ccfg := monoclass.ShardClusterConfig{
+			Replicas:     *replicas,
+			Serve:        cfg,
+			SyncInterval: *syncInterval,
+		}
+		return monoclass.ServeCluster(context.Background(), *addr, h, ccfg, func(bound string) {
+			fmt.Printf("monoserve: serving dim-%d model (%d anchors) via %d replicas on %s\n",
+				h.Dim(), len(h.Anchors()), *replicas, bound)
+		})
+	}
 	return monoclass.Serve(context.Background(), *addr, h, cfg, func(bound string) {
 		fmt.Printf("monoserve: serving dim-%d model (%d anchors) on %s\n", h.Dim(), len(h.Anchors()), bound)
 	})

@@ -221,3 +221,93 @@ func TestServeFlagErrors(t *testing.T) {
 		t.Errorf("error output %q lacks the monoserve prefix", out)
 	}
 }
+
+func TestServeReplicasMode(t *testing.T) {
+	url, stop := startServer(t, "-model", writeModel(t), "-replicas", "2", "-sync-interval", "5ms")
+	defer stop()
+
+	// Classify through the fronting router.
+	var res struct {
+		Label   int   `json:"label"`
+		Version int64 `json:"version"`
+	}
+	resp, err := http.Post(url+"/classify", "application/json", strings.NewReader(`{"point":[20,20]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Label != 1 || res.Version != 1 {
+		t.Errorf("(20,20) → %+v, want label 1 version 1", res)
+	}
+
+	// Fleet health: both replicas up behind the one public address.
+	resp, err = http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status  string `json:"status"`
+		Healthy int    `json:"healthy"`
+	}
+	json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if hz.Status != "ok" || hz.Healthy != 2 {
+		t.Errorf("healthz = %+v, want ok/2", hz)
+	}
+
+	// Promote through the router and wait for the replica to ack.
+	cp, _ := monoclass.NewAnchorSet(2, []monoclass.Point{{-1e18, -1e18}})
+	var buf bytes.Buffer
+	if err := monoclass.SaveModel(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(url+"/model", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("promote status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(url + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var agg struct {
+			Sync []struct {
+				Acked int64 `json:"acked"`
+			} `json:"sync"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&agg)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(agg.Sync) == 1 && agg.Sync[0].Acked >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never acked the promotion: %+v", agg.Sync)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Every replica now labels (0,0) positive under const-positive.
+	for i := 0; i < 6; i++ {
+		resp, err = http.Post(url+"/classify", "application/json", strings.NewReader(`{"point":[0,0]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if res.Label != 1 {
+			t.Errorf("(0,0) attempt %d → %+v after const-positive promotion, want label 1", i, res)
+		}
+	}
+}

@@ -46,6 +46,7 @@ func Checks() []Check {
 		{"online-incremental-vs-retrain", CheckOnlineIncremental},
 		{"online-drift-bound", CheckOnlineDriftBound},
 		{"problem-prepared-vs-legacy", CheckProblemPrepared},
+		{"shard-routed-vs-direct", CheckShardRouted},
 		{"meta-monotone-transform", CheckMetaMonotoneTransform},
 		{"meta-duality", CheckMetaDuality},
 		{"meta-duplication", CheckMetaDuplication},

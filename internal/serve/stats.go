@@ -3,6 +3,7 @@ package serve
 import (
 	"math/bits"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"monoclass/internal/online"
@@ -16,11 +17,19 @@ import (
 const histBuckets = 11
 
 // Stats is the server's shared counter block. Every field is updated
-// with atomics so the hot path never takes a lock; Snapshot assembles
-// a consistent-enough view for the /stats endpoint (individual
-// counters are exact, cross-counter skew is bounded by in-flight
-// requests).
+// with atomics, and every update additionally holds mu in read mode —
+// an inverted-RWMutex seqlock: concurrent writers share the read lock
+// (two atomic ops of overhead, no contention between them), while
+// snapshotCounters takes the write lock, excluding all in-flight
+// updates. A snapshot is therefore internally consistent: it observes
+// every multi-counter update (ObserveBatch touches batches,
+// batchPoints, and a histogram bucket together) entirely or not at
+// all, so invariants like Σhist == batches hold exactly in every
+// snapshot, not just at quiescence. The shard router's /stats
+// aggregation sums these snapshots across replicas and asserts exact
+// totals.
 type Stats struct {
+	mu          sync.RWMutex // writers RLock, snapshot Lock (see above)
 	requests    atomic.Int64 // points accepted for classification
 	rejected    atomic.Int64 // points turned away with 429 (queue full)
 	badRequests atomic.Int64 // malformed/oversized requests (4xx other than 429)
@@ -34,6 +43,8 @@ func (s *Stats) ObserveBatch(size int) {
 	if size <= 0 {
 		return
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	s.batches.Add(1)
 	s.batchPoints.Add(int64(size))
 	b := bits.Len(uint(size - 1)) // ceil(log2(size)); 0 for size 1
@@ -44,13 +55,25 @@ func (s *Stats) ObserveBatch(size int) {
 }
 
 // AddRequests counts n accepted classification points.
-func (s *Stats) AddRequests(n int) { s.requests.Add(int64(n)) }
+func (s *Stats) AddRequests(n int) {
+	s.mu.RLock()
+	s.requests.Add(int64(n))
+	s.mu.RUnlock()
+}
 
 // AddRejected counts n points rejected for backpressure.
-func (s *Stats) AddRejected(n int) { s.rejected.Add(int64(n)) }
+func (s *Stats) AddRejected(n int) {
+	s.mu.RLock()
+	s.rejected.Add(int64(n))
+	s.mu.RUnlock()
+}
 
 // AddBadRequest counts one malformed request.
-func (s *Stats) AddBadRequest() { s.badRequests.Add(1) }
+func (s *Stats) AddBadRequest() {
+	s.mu.RLock()
+	s.badRequests.Add(1)
+	s.mu.RUnlock()
+}
 
 // StatsSnapshot is the JSON shape of /stats. BatchSizeHist maps the
 // inclusive upper bound of each power-of-two bucket ("1", "2", "4",
@@ -90,7 +113,11 @@ type OnlineStats struct {
 }
 
 // snapshotCounters fills the counter-derived fields of a snapshot.
+// Taking mu exclusively makes the read a linearization point: every
+// completed update is visible, no partially applied one is.
 func (s *Stats) snapshotCounters(out *StatsSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out.Requests = s.requests.Load()
 	out.Rejected = s.rejected.Load()
 	out.BadRequests = s.badRequests.Load()

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStatsSnapshotConsistent hammers the counter block from many
+// writers while a snapshotter reads mid-storm, asserting every
+// snapshot is internally consistent — not merely eventually right.
+// Each writer counts 3 requests and then records one size-3 batch per
+// iteration, so a consistent snapshot must satisfy, exactly:
+//
+//	Σ batch_size_hist == batches
+//	batch_points      == 3 · batches
+//
+// and, because AddRequests happens-before the matching ObserveBatch,
+//
+//	batch_points ≤ requests ≤ batch_points + 3·writers
+//
+// With the pre-fix independent atomics, a snapshot taken between the
+// batches.Add and batchPoints.Add of one ObserveBatch violates the
+// exact equalities; the inverted-RWMutex seqlock makes each update
+// atomic with respect to snapshotCounters.
+func TestStatsSnapshotConsistent(t *testing.T) {
+	stats := &Stats{}
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				stats.AddRequests(3)
+				stats.ObserveBatch(3)
+			}
+		}()
+	}
+
+	var snaps int
+	for !stop.Load() {
+		var snap StatsSnapshot
+		stats.snapshotCounters(&snap)
+		snaps++
+		var histSum int64
+		for _, n := range snap.BatchSizeHist {
+			histSum += n
+		}
+		if histSum != snap.Batches {
+			t.Fatalf("snapshot %d: Σhist = %d, batches = %d", snaps, histSum, snap.Batches)
+		}
+		if snap.BatchPoints != 3*snap.Batches {
+			t.Fatalf("snapshot %d: batch_points = %d, want 3·batches = %d", snaps, snap.BatchPoints, 3*snap.Batches)
+		}
+		if snap.Requests < snap.BatchPoints || snap.Requests > snap.BatchPoints+3*writers {
+			t.Fatalf("snapshot %d: requests = %d outside [batch_points, batch_points+3·writers] = [%d, %d]",
+				snaps, snap.Requests, snap.BatchPoints, snap.BatchPoints+3*writers)
+		}
+		if snap.Batches == writers*perW {
+			stop.Store(true)
+		}
+	}
+	wg.Wait()
+
+	// Final totals are exact.
+	var snap StatsSnapshot
+	stats.snapshotCounters(&snap)
+	if snap.Batches != writers*perW || snap.BatchPoints != 3*writers*perW || snap.Requests != 3*writers*perW {
+		t.Fatalf("final totals: batches=%d points=%d requests=%d, want %d/%d/%d",
+			snap.Batches, snap.BatchPoints, snap.Requests, writers*perW, 3*writers*perW, 3*writers*perW)
+	}
+	t.Logf("%d mid-storm snapshots, all consistent", snaps)
+}
+
+// TestStatsMeanBatchConsistent checks the derived mean is computed
+// from one coherent (batches, batchPoints) pair: with every observed
+// batch of size 4, the mean must be exactly 4 in every snapshot.
+func TestStatsMeanBatchConsistent(t *testing.T) {
+	stats := &Stats{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20000; i++ {
+			stats.ObserveBatch(4)
+		}
+	}()
+	for {
+		var snap StatsSnapshot
+		stats.snapshotCounters(&snap)
+		if snap.Batches > 0 && snap.MeanBatch != 4 {
+			t.Fatalf("mean batch %g over %d batches, want exactly 4", snap.MeanBatch, snap.Batches)
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}

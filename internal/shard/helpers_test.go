@@ -1,0 +1,31 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// getJSON GETs url and decodes the JSON body into out, returning the
+// status code (mirrors the serve test suite's helper).
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// fastClient is an HTTP client with a short timeout, so tests probing
+// dead endpoints fail fast instead of waiting out the default.
+func fastClient() *http.Client {
+	return &http.Client{Timeout: 2 * time.Second}
+}

@@ -1,0 +1,266 @@
+// Package shard is the horizontal scale-out layer: a consistent-hash
+// router fronting N monoserve replicas, plus snapshot replication that
+// propagates promoted models from a primary registry to every replica
+// over the existing JSON /model endpoints with version-vector
+// agreement.
+//
+// The paper's models are tiny immutable anchor sets (the model-size
+// bounds reproduced in the Figure-1 golden test), which makes
+// whole-model replication the natural distribution unit: every replica
+// holds the complete model, so any replica can answer any request and
+// the router's placement strategy is purely a load-spreading and
+// cache-affinity decision, never a correctness one. Correctness lives
+// in the replication protocol instead — a replica is never observed
+// serving a version older than one it has already acknowledged, and
+// every served version resolves to a primary version through the
+// syncer's version vector. See DESIGN.md §14.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"monoclass/internal/geom"
+)
+
+// Strategy maps a classify request to replicas. Order fills dst with
+// replica indices in preference order — every replica exactly once —
+// and returns the filled slice. The router tries them in order,
+// preferring healthy replicas, so a strategy never needs to know about
+// health; it only decides affinity. Implementations must be safe for
+// concurrent use and deterministic (same point, same order), so tests
+// and the conformance check can predict placement.
+type Strategy interface {
+	// Name identifies the strategy in stats and CLI flags.
+	Name() string
+	// Replicas returns the replica count the strategy was built for.
+	Replicas() int
+	// Order writes the preference order for pt into dst (which must
+	// have length ≥ Replicas()) and returns dst[:Replicas()].
+	Order(dst []int, pt geom.Point) []int
+}
+
+// pointKey hashes a point's coordinates with FNV-1a over the float64
+// bit patterns. NaN payload bits are canonicalized so every NaN keys
+// identically, matching the dominance semantics where every NaN
+// behaves the same.
+func pointKey(pt geom.Point) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range pt {
+		b := math.Float64bits(c)
+		if c != c { // NaN: canonical bits
+			b = 0x7ff8000000000001
+		}
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// stringKey is pointKey's sibling for endpoint/vnode labels.
+func stringKey(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------
+// Consistent-hash ring
+// ---------------------------------------------------------------------
+
+// DefaultVNodes is the virtual-node count per replica: enough that the
+// ring splits load within a few percent of even for small fleets,
+// small enough that construction and the per-request walk stay
+// trivial.
+const DefaultVNodes = 64
+
+// Ring is the consistent-hash strategy: each replica owns VNodes
+// pseudo-random positions on a uint64 ring; a request's point hashes
+// to a position and walks clockwise, yielding replicas in first-
+// encounter order. Adding or removing a replica moves only ~1/N of
+// the key space, so cache affinity survives fleet changes.
+type Ring struct {
+	n     int
+	nodes []ringNode // sorted by pos
+}
+
+type ringNode struct {
+	pos uint64
+	idx int
+}
+
+// NewRing builds a ring over n replicas with vnodes virtual nodes each
+// (DefaultVNodes when vnodes <= 0). Vnode positions derive from the
+// replica index, not the endpoint string, so two routers over the same
+// fleet agree on placement regardless of how endpoints are spelled.
+func NewRing(n, vnodes int) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: ring needs at least 1 replica, got %d", n)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{n: n, nodes: make([]ringNode, 0, n*vnodes)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodes; v++ {
+			pos := stringKey(fmt.Sprintf("replica-%d#%d", i, v))
+			r.nodes = append(r.nodes, ringNode{pos: pos, idx: i})
+		}
+	}
+	sort.Slice(r.nodes, func(a, b int) bool {
+		if r.nodes[a].pos != r.nodes[b].pos {
+			return r.nodes[a].pos < r.nodes[b].pos
+		}
+		return r.nodes[a].idx < r.nodes[b].idx
+	})
+	return r, nil
+}
+
+// Name implements Strategy.
+func (r *Ring) Name() string { return "ring" }
+
+// Replicas implements Strategy.
+func (r *Ring) Replicas() int { return r.n }
+
+// Order implements Strategy: clockwise walk from the point's hash
+// position, collecting each replica on first encounter.
+func (r *Ring) Order(dst []int, pt geom.Point) []int {
+	dst = dst[:0]
+	key := pointKey(pt)
+	start := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].pos >= key })
+	var seen uint64 // replica bitset; fleets are far below 64 in practice
+	var seenBig map[int]bool
+	if r.n > 64 {
+		seenBig = make(map[int]bool, r.n)
+	}
+	for step := 0; step < len(r.nodes) && len(dst) < r.n; step++ {
+		node := r.nodes[(start+step)%len(r.nodes)]
+		if seenBig != nil {
+			if seenBig[node.idx] {
+				continue
+			}
+			seenBig[node.idx] = true
+		} else {
+			if seen&(1<<uint(node.idx)) != 0 {
+				continue
+			}
+			seen |= 1 << uint(node.idx)
+		}
+		dst = append(dst, node.idx)
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------
+// Dimension-space partitioning
+// ---------------------------------------------------------------------
+
+// DimPartition is the alternative placement strategy: the value space
+// of one coordinate is cut into contiguous buckets by sorted
+// boundaries, bucket i owning (bounds[i-1], bounds[i]]. It trades the
+// ring's uniform spread for spatial locality — queries near each other
+// on the split dimension land on the same replica, which keeps that
+// replica's staircase-index search paths hot. Fallback order walks
+// outward from the owning bucket, so a dead replica's load spills to
+// its value-space neighbors.
+type DimPartition struct {
+	dim    int // coordinate index the partition splits on
+	bounds []float64
+}
+
+// NewDimPartition partitions on coordinate dim with len(bounds)+1
+// buckets (= replicas). bounds must be sorted ascending. NaN query
+// coordinates route to bucket 0.
+func NewDimPartition(dim int, bounds []float64) (*DimPartition, error) {
+	if dim < 0 {
+		return nil, fmt.Errorf("shard: partition dimension must be ≥ 0, got %d", dim)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i-1] <= bounds[i]) { // also rejects NaN bounds
+			return nil, fmt.Errorf("shard: partition bounds must be sorted, got %g before %g", bounds[i-1], bounds[i])
+		}
+	}
+	for _, b := range bounds {
+		if math.IsNaN(b) {
+			return nil, fmt.Errorf("shard: partition bounds must not be NaN")
+		}
+	}
+	return &DimPartition{dim: dim, bounds: append([]float64(nil), bounds...)}, nil
+}
+
+// DimBoundsFromSample computes n-1 quantile boundaries of coordinate
+// dim over a sample, for an n-way partition that balances the sample's
+// load. Non-finite sample coordinates are ignored; with too few
+// distinct finite values the surplus boundaries repeat (those buckets
+// then stay cold — the router's fallback order still covers them).
+func DimBoundsFromSample(sample []geom.Point, dim, n int) []float64 {
+	var vals []float64
+	for _, p := range sample {
+		if dim < len(p) && !math.IsNaN(p[dim]) && !math.IsInf(p[dim], 0) {
+			vals = append(vals, p[dim])
+		}
+	}
+	bounds := make([]float64, 0, n-1)
+	if len(vals) == 0 {
+		for i := 1; i < n; i++ {
+			bounds = append(bounds, float64(i)) // arbitrary but sorted
+		}
+		return bounds
+	}
+	sort.Float64s(vals)
+	for i := 1; i < n; i++ {
+		bounds = append(bounds, vals[i*len(vals)/n])
+	}
+	return bounds
+}
+
+// Name implements Strategy.
+func (d *DimPartition) Name() string { return "dims" }
+
+// Replicas implements Strategy.
+func (d *DimPartition) Replicas() int { return len(d.bounds) + 1 }
+
+// Order implements Strategy: the owning bucket first, then alternating
+// outward (right, left, right ...) until every bucket is listed.
+func (d *DimPartition) Order(dst []int, pt geom.Point) []int {
+	n := d.Replicas()
+	dst = dst[:0]
+	var v float64
+	if d.dim < len(pt) {
+		v = pt[d.dim]
+	}
+	// (lo, hi] semantics: the owning bucket is the index of the first
+	// boundary ≥ v (a value equal to a boundary belongs to the bucket
+	// below it); values above every boundary own the last bucket.
+	bucket := 0
+	if !math.IsNaN(v) {
+		bucket = sort.SearchFloat64s(d.bounds, v)
+	}
+	if bucket >= n {
+		bucket = n - 1
+	}
+	dst = append(dst, bucket)
+	for step := 1; len(dst) < n; step++ {
+		if r := bucket + step; r < n {
+			dst = append(dst, r)
+		}
+		if l := bucket - step; l >= 0 && len(dst) < n {
+			dst = append(dst, l)
+		}
+	}
+	return dst
+}
